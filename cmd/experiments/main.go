@@ -1,0 +1,81 @@
+// Command experiments regenerates the PhaseBeat paper's evaluation
+// figures from simulated CSI. Each experiment prints the measured numbers
+// alongside what the paper reports.
+//
+// Usage:
+//
+//	experiments [-trials N] [-duration S] [-seed N] [-list] [fig11 fig12 ...]
+//
+// With no figure names, every experiment runs in order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"phasebeat/internal/eval"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	trials := fs.Int("trials", 0, "trials per statistical experiment (0 = per-experiment default)")
+	duration := fs.Float64("duration", 0, "per-trial capture seconds (0 = 60)")
+	seed := fs.Int64("seed", 0, "base random seed")
+	parallel := fs.Int("parallel", 0, "max parallel trials (0 = GOMAXPROCS)")
+	list := fs.Bool("list", false, "list available experiments and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range eval.Experiments() {
+			fmt.Printf("%-8s %s\n", e.Name, e.Description)
+		}
+		return nil
+	}
+
+	opts := eval.Options{
+		Trials:      *trials,
+		DurationS:   *duration,
+		Seed:        *seed,
+		Parallelism: *parallel,
+	}
+
+	selected := fs.Args()
+	var experiments []eval.Experiment
+	if len(selected) == 0 {
+		experiments = eval.Experiments()
+	} else {
+		for _, name := range selected {
+			e, err := eval.Lookup(name)
+			if err != nil {
+				return err
+			}
+			experiments = append(experiments, e)
+		}
+	}
+
+	for i, e := range experiments {
+		if i > 0 {
+			fmt.Println()
+		}
+		start := time.Now()
+		rep, err := e.Run(opts)
+		if err != nil {
+			fmt.Printf("%s: FAILED: %v\n", e.Name, err)
+			continue
+		}
+		fmt.Print(rep.String())
+		fmt.Printf("(%s in %.1fs)\n", e.Name, time.Since(start).Seconds())
+	}
+	return nil
+}

@@ -1,0 +1,213 @@
+// Command phasebeat runs the PhaseBeat vital-sign pipeline over a CSI
+// trace file (see cmd/csigen) or a freshly simulated scene, and prints the
+// breathing and heart estimates together with the pipeline's intermediate
+// diagnostics.
+//
+// Usage:
+//
+//	phasebeat -in trace.pbtr [-persons 1] [-verbose]
+//	phasebeat -simulate [-scenario lab] [-duration 60] [-seed 1] [-persons 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"phasebeat"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "phasebeat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("phasebeat", flag.ContinueOnError)
+	in := fs.String("in", "", "input trace file")
+	simulate := fs.Bool("simulate", false, "simulate a scene instead of reading a trace")
+	scenario := fs.String("scenario", "lab", "simulated scenario: lab, wall or corridor")
+	distance := fs.Float64("distance", 3, "simulated Tx-Rx distance (m)")
+	duration := fs.Float64("duration", 60, "simulated capture length (s)")
+	directional := fs.Bool("directional", false, "simulated directional Tx antenna")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	persons := fs.Int("persons", 1, "monitored person count")
+	verbose := fs.Bool("verbose", false, "print pipeline diagnostics")
+	watch := fs.Float64("watch", 0, "realtime mode: stream a simulated scene for this many seconds, printing periodic estimates")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *watch > 0 {
+		kind, kerr := scenarioKind(*scenario)
+		if kerr != nil {
+			return kerr
+		}
+		return watchScene(phasebeat.Scenario{
+			Kind:          kind,
+			TxRxDistanceM: *distance,
+			NumPersons:    *persons,
+			DirectionalTx: *directional,
+			Seed:          *seed,
+		}, *watch, *persons)
+	}
+
+	var (
+		tr    *phasebeat.Trace
+		truth []phasebeat.VitalTruth
+		err   error
+	)
+	switch {
+	case *simulate:
+		kind, kerr := scenarioKind(*scenario)
+		if kerr != nil {
+			return kerr
+		}
+		tr, truth, err = phasebeat.Simulate(phasebeat.Scenario{
+			Kind:          kind,
+			TxRxDistanceM: *distance,
+			NumPersons:    *persons,
+			DirectionalTx: *directional,
+			Seed:          *seed,
+		}, *duration)
+		if err != nil {
+			return err
+		}
+	case *in != "":
+		tr, err = readTraceFile(*in)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("either -in or -simulate is required")
+	}
+
+	cfg := phasebeat.ConfigForRate(tr.SampleRate)
+	res, err := phasebeat.ProcessTrace(tr,
+		phasebeat.WithConfig(cfg), phasebeat.WithPersons(*persons))
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("trace: %d packets, %.1f s at %.0f Hz\n", tr.Len(), tr.Duration(), tr.SampleRate)
+	if res.Breathing != nil {
+		fmt.Printf("breathing rate: %.2f bpm (method: %s)\n", res.Breathing.RateBPM, res.Breathing.Method)
+	}
+	if res.MultiPerson != nil {
+		fmt.Printf("breathing rates (%s):", res.MultiPerson.Method)
+		for _, r := range res.MultiPerson.RatesBPM {
+			fmt.Printf(" %.2f", r)
+		}
+		fmt.Println(" bpm")
+	}
+	if res.Heart != nil {
+		fmt.Printf("heart rate: %.2f bpm (method: %s)\n", res.Heart.RateBPM, res.Heart.Method)
+	} else {
+		fmt.Println("heart rate: not detectable (weak heart band)")
+	}
+	for i, t := range truth {
+		fmt.Printf("ground truth person %d: breathing %.2f bpm, heart %.2f bpm\n",
+			i+1, t.BreathingBPM, t.HeartBPM)
+	}
+
+	if *verbose {
+		fmt.Printf("\nstationary segment: samples [%d, %d)\n",
+			res.StationarySegment.StartSample, res.StationarySegment.EndSample)
+		fmt.Printf("selected subcarrier: %d (top-%d by MAD: %v)\n",
+			res.Selection.Selected+1, len(res.Selection.TopK), oneBased(res.Selection.TopK))
+		fmt.Printf("estimation rate: %.1f Hz, calibrated samples: %d\n",
+			res.EstimationRate, len(res.Calibrated[0]))
+		states := map[string]int{}
+		for _, s := range res.Environment.States {
+			states[s.String()]++
+		}
+		fmt.Printf("environment windows: %v\n", states)
+	}
+	return nil
+}
+
+func oneBased(idx []int) []int {
+	out := make([]int, len(idx))
+	for i, v := range idx {
+		out[i] = v + 1
+	}
+	return out
+}
+
+func scenarioKind(name string) (phasebeat.ScenarioKind, error) {
+	switch name {
+	case "lab":
+		return phasebeat.ScenarioLaboratory, nil
+	case "wall":
+		return phasebeat.ScenarioThroughWall, nil
+	case "corridor":
+		return phasebeat.ScenarioCorridor, nil
+	default:
+		return 0, fmt.Errorf("unknown scenario %q (lab, wall, corridor)", name)
+	}
+}
+
+// readTraceFile loads a trace in any supported format (binary, JSON or
+// gzip), sniffing the leading bytes.
+func readTraceFile(path string) (*phasebeat.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return phasebeat.ReadTraceAuto(f)
+}
+
+// watchScene streams a simulated scene through a Monitor, printing each
+// periodic estimate — the realtime deployment shape.
+func watchScene(sc phasebeat.Scenario, seconds float64, persons int) error {
+	sim, err := phasebeat.NewSimulator(sc)
+	if err != nil {
+		return err
+	}
+	cfg := phasebeat.DefaultMonitorConfig()
+	cfg.Persons = persons
+	cfg.WindowSeconds = 40
+	cfg.UpdateEverySeconds = 10
+	m, err := phasebeat.NewMonitor(cfg)
+	if err != nil {
+		return err
+	}
+	defer m.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for u := range m.Updates() {
+			if u.Err != nil {
+				fmt.Printf("[t=%5.0fs] no vital signs: %v\n", u.Time, u.Err)
+				continue
+			}
+			fmt.Printf("[t=%5.0fs]", u.Time)
+			if u.Result.Breathing != nil {
+				fmt.Printf(" breathing %.1f bpm", u.Result.Breathing.RateBPM)
+			}
+			if u.Result.MultiPerson != nil {
+				fmt.Printf(" breathing %v bpm", u.Result.MultiPerson.RatesBPM)
+			}
+			if u.Result.Heart != nil {
+				fmt.Printf(" heart %.1f bpm", u.Result.Heart.RateBPM)
+			}
+			fmt.Println()
+		}
+	}()
+	total := int(seconds * cfg.SampleRate)
+	for i := 0; i < total; i++ {
+		if !m.Ingest(sim.NextPacket()) {
+			break
+		}
+	}
+	m.Close()
+	<-done
+	for i, t := range sim.Truth() {
+		fmt.Printf("ground truth person %d: breathing %.2f bpm, heart %.2f bpm\n",
+			i+1, t.BreathingBPM, t.HeartBPM)
+	}
+	return nil
+}

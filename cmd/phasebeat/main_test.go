@@ -1,0 +1,101 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"phasebeat"
+)
+
+func writeTestTrace(t *testing.T) string {
+	t.Helper()
+	tr, _, err := phasebeat.Simulate(phasebeat.Scenario{
+		Kind:          phasebeat.ScenarioLaboratory,
+		TxRxDistanceM: 3,
+		NumPersons:    1,
+		Seed:          4,
+	}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "in.pbtr")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := phasebeat.WriteTrace(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunOnTraceFile(t *testing.T) {
+	path := writeTestTrace(t)
+	if err := run([]string{"-in", path, "-verbose"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunSimulate(t *testing.T) {
+	if err := run([]string{"-simulate", "-duration", "30", "-seed", "3"}); err != nil {
+		t.Fatalf("run -simulate: %v", err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("want error without -in or -simulate")
+	}
+	if err := run([]string{"-in", "/does/not/exist"}); err == nil {
+		t.Error("want error for missing file")
+	}
+	if err := run([]string{"-simulate", "-scenario", "bogus"}); err == nil {
+		t.Error("want error for unknown scenario")
+	}
+}
+
+func TestOneBased(t *testing.T) {
+	got := oneBased([]int{0, 4, 29})
+	want := []int{1, 5, 30}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("oneBased[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRunWatch(t *testing.T) {
+	if err := run([]string{"-watch", "42", "-seed", "8"}); err != nil {
+		t.Fatalf("run -watch: %v", err)
+	}
+}
+
+func TestReadTraceFileJSON(t *testing.T) {
+	tr, _, err := phasebeat.Simulate(phasebeat.Scenario{
+		Kind:          phasebeat.ScenarioLaboratory,
+		TxRxDistanceM: 3,
+		NumPersons:    1,
+		Seed:          2,
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "in.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := phasebeat.WriteTraceJSON(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, err := readTraceFile(path)
+	if err != nil {
+		t.Fatalf("readTraceFile(json): %v", err)
+	}
+	if got.Len() != tr.Len() {
+		t.Errorf("len = %d, want %d", got.Len(), tr.Len())
+	}
+}

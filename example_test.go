@@ -1,0 +1,65 @@
+package phasebeat_test
+
+import (
+	"fmt"
+	"log"
+
+	"phasebeat"
+)
+
+// ExampleProcessTrace simulates a minute of a sitting person and runs the
+// batch pipeline.
+func ExampleProcessTrace() {
+	tr, truth, err := phasebeat.Simulate(phasebeat.Scenario{
+		Kind:          phasebeat.ScenarioLaboratory,
+		TxRxDistanceM: 3,
+		NumPersons:    1,
+		Seed:          2024,
+	}, 60)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := phasebeat.ProcessTrace(tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("error below 1 bpm: %v\n",
+		res.Breathing.RateBPM-truth[0].BreathingBPM < 1 &&
+			truth[0].BreathingBPM-res.Breathing.RateBPM < 1)
+	// Output:
+	// error below 1 bpm: true
+}
+
+// ExampleProcessTrace_multiPerson separates two breathing rates with
+// root-MUSIC.
+func ExampleProcessTrace_multiPerson() {
+	tr, _, err := phasebeat.SimulateFixedRates([]float64{12, 18}, 90, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := phasebeat.ProcessTrace(tr, phasebeat.WithPersons(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d rates estimated by %s\n",
+		len(res.MultiPerson.RatesBPM), res.MultiPerson.Method)
+	// Output:
+	// 2 rates estimated by root-music
+}
+
+// ExampleEstimateAmplitudeBaseline runs the comparison method of Liu et
+// al. [13] on the same trace.
+func ExampleEstimateAmplitudeBaseline() {
+	tr, _, err := phasebeat.SimulateFixedRates([]float64{17}, 60, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	est, err := phasebeat.EstimateAmplitudeBaseline(tr, phasebeat.DefaultBaselineConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("amplitude method picked one of 30 subcarriers: %v\n",
+		est.Subcarrier >= 0 && est.Subcarrier < 30)
+	// Output:
+	// amplitude method picked one of 30 subcarriers: true
+}

@@ -1,0 +1,51 @@
+// Multi-person monitoring: three people breathe at close rates in the same
+// room — the case where FFT peak-picking merges neighbors and the paper's
+// root-MUSIC estimator (over all 30 subcarriers) still separates them
+// (paper Fig. 8).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"phasebeat"
+)
+
+func main() {
+	// The paper's three-person demonstration: 0.1467, 0.2233 and
+	// 0.2483 Hz — the latter two only 0.025 Hz apart.
+	rates := []float64{8.8, 13.4, 14.9} // bpm
+	tr, truth, err := phasebeat.SimulateFixedRates(rates, 90, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := phasebeat.ProcessTrace(tr, phasebeat.WithPersons(len(rates)))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("truth (bpm):   ", formatRates(truthRates(truth)))
+	fmt.Println("root-MUSIC (bpm):", formatRates(res.MultiPerson.RatesBPM))
+	fmt.Printf("method: %s over %d calibrated subcarrier series\n",
+		res.MultiPerson.Method, len(res.Calibrated))
+}
+
+func truthRates(truth []phasebeat.VitalTruth) []float64 {
+	out := make([]float64, len(truth))
+	for i, t := range truth {
+		out[i] = t.BreathingBPM
+	}
+	return out
+}
+
+func formatRates(rates []float64) string {
+	s := ""
+	for i, r := range rates {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%.2f", r)
+	}
+	return s
+}

@@ -1,0 +1,42 @@
+// Quickstart: simulate one minute of a person sitting three meters from a
+// WiFi link, run the PhaseBeat pipeline, and compare the estimates with
+// the ground truth.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"phasebeat"
+)
+
+func main() {
+	// Simulate the paper's laboratory setup: one person, 3 m Tx-Rx
+	// separation, 400 packets/s, 60 seconds.
+	tr, truth, err := phasebeat.Simulate(phasebeat.Scenario{
+		Kind:          phasebeat.ScenarioLaboratory,
+		TxRxDistanceM: 3,
+		NumPersons:    1,
+		DirectionalTx: true, // needed for the weak heart signal
+		Seed:          2024,
+	}, 60)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Run the full pipeline: phase-difference extraction, environment
+	// detection, calibration, subcarrier selection, DWT, estimation.
+	res, err := phasebeat.ProcessTrace(tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("breathing: estimated %.2f bpm, truth %.2f bpm (method %s)\n",
+		res.Breathing.RateBPM, truth[0].BreathingBPM, res.Breathing.Method)
+	if res.Heart != nil {
+		fmt.Printf("heart:     estimated %.2f bpm, truth %.2f bpm (method %s)\n",
+			res.Heart.RateBPM, truth[0].HeartBPM, res.Heart.Method)
+	}
+	fmt.Printf("selected subcarrier %d out of %d by sensitivity\n",
+		res.Selection.Selected+1, len(res.Selection.MAD))
+}

@@ -1,0 +1,3 @@
+module phasebeat
+
+go 1.24

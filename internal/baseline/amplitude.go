@@ -1,0 +1,158 @@
+// Package baseline implements the CSI-amplitude-based vital sign tracking
+// method of Liu et al. (MobiHoc'15), reference [13] of the PhaseBeat paper
+// — the comparison system in Fig. 11. It follows the published description:
+// per-subcarrier amplitude extraction, outlier removal with a Hampel
+// filter, moving-average smoothing, subcarrier selection by breathing-band
+// periodicity, and peak-detection rate estimation.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"phasebeat/internal/dsp"
+	"phasebeat/internal/trace"
+)
+
+// ErrNoData reports an empty or unusable input trace.
+var ErrNoData = errors.New("baseline: not enough data")
+
+// Config holds the amplitude method's tunables.
+type Config struct {
+	// Antenna is the receive antenna whose amplitudes are used.
+	Antenna int
+	// HampelWindow and HampelSigma control the outlier filter.
+	HampelWindow int
+	HampelSigma  float64
+	// SmoothWindow is the moving-average length at the raw rate.
+	SmoothWindow int
+	// DownsampleFactor reduces the raw rate to the estimation rate.
+	DownsampleFactor int
+	// PeakWindow and PeakMinDistance control breathing peak detection at
+	// the estimation rate.
+	PeakWindow, PeakMinDistance int
+	// BreathBandLow/High bound the breathing band in Hz.
+	BreathBandLow, BreathBandHigh float64
+}
+
+// DefaultConfig mirrors the PhaseBeat operating point for a fair
+// comparison at 400 Hz.
+func DefaultConfig() Config {
+	return Config{
+		Antenna:          0,
+		HampelWindow:     50,
+		HampelSigma:      3,
+		SmoothWindow:     80,
+		DownsampleFactor: 20,
+		PeakWindow:       51,
+		PeakMinDistance:  35,
+		BreathBandLow:    0.17,
+		BreathBandHigh:   0.62,
+	}
+}
+
+// Estimate is the amplitude method's output.
+type Estimate struct {
+	// BreathingBPM is the estimated breathing rate.
+	BreathingBPM float64
+	// Subcarrier is the selected subcarrier index.
+	Subcarrier int
+}
+
+// EstimateBreathing runs the amplitude pipeline on a trace.
+func EstimateBreathing(tr *trace.Trace, cfg Config) (*Estimate, error) {
+	if tr == nil || tr.Len() == 0 {
+		return nil, fmt.Errorf("%w: empty trace", ErrNoData)
+	}
+	if cfg.Antenna < 0 || cfg.Antenna >= tr.NumAntennas {
+		return nil, fmt.Errorf("baseline: antenna %d outside [0, %d)", cfg.Antenna, tr.NumAntennas)
+	}
+	if cfg.DownsampleFactor < 1 || cfg.SmoothWindow < 1 || cfg.HampelWindow < 1 {
+		return nil, fmt.Errorf("baseline: invalid window configuration %+v", cfg)
+	}
+	estRate := tr.SampleRate / float64(cfg.DownsampleFactor)
+
+	// Calibrate every subcarrier's amplitude series.
+	calibrated := make([][]float64, tr.NumSubcarriers)
+	for s := 0; s < tr.NumSubcarriers; s++ {
+		amp := make([]float64, tr.Len())
+		for k, p := range tr.Packets {
+			amp[k] = cmplx.Abs(p.CSI[cfg.Antenna][s])
+		}
+		cleaned, err := dsp.Hampel(amp, cfg.HampelWindow, cfg.HampelSigma)
+		if err != nil {
+			return nil, fmt.Errorf("baseline: hampel: %w", err)
+		}
+		smoothed := dsp.MovingAverage(cleaned, cfg.SmoothWindow)
+		down, err := dsp.Downsample(smoothed, cfg.DownsampleFactor)
+		if err != nil {
+			return nil, fmt.Errorf("baseline: downsample: %w", err)
+		}
+		calibrated[s] = dsp.RemoveMean(dsp.DetrendLinear(down))
+	}
+
+	// Select the subcarrier whose breathing band is most periodic: the
+	// highest in-band spectral peak relative to its total power.
+	best, bestScore := -1, 0.0
+	for s, series := range calibrated {
+		score := periodicityScore(series, estRate, cfg.BreathBandLow, cfg.BreathBandHigh)
+		if score > bestScore {
+			best, bestScore = s, score
+		}
+	}
+	if best < 0 {
+		return nil, fmt.Errorf("%w: no periodic subcarrier", ErrNoData)
+	}
+
+	series := calibrated[best]
+	peaks, err := dsp.FindPeaks(series, cfg.PeakWindow, cfg.PeakMinDistance)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: peaks: %w", err)
+	}
+	if bpm, ok := dsp.RateFromPeaks(peaks, estRate); ok {
+		// The amplitude method keeps the plain peak estimate (no spectral
+		// cross-check) as published.
+		if bpm >= cfg.BreathBandLow*60 && bpm <= cfg.BreathBandHigh*60 {
+			return &Estimate{BreathingBPM: bpm, Subcarrier: best}, nil
+		}
+	}
+	f, err := dsp.DominantFrequency(series, estRate, cfg.BreathBandLow, cfg.BreathBandHigh, 4096)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	return &Estimate{BreathingBPM: f * 60, Subcarrier: best}, nil
+}
+
+// periodicityScore measures how concentrated the breathing-band spectrum
+// is: peak bin power over mean in-band power.
+func periodicityScore(series []float64, fs, fLo, fHi float64) float64 {
+	sp, err := dsp.MagnitudeSpectrum(series, fs, dsp.NextPowerOfTwo(len(series)*2))
+	if err != nil {
+		return 0
+	}
+	peak := sp.PeakBin(fLo, fHi)
+	if peak < 0 {
+		return 0
+	}
+	var sum float64
+	var n int
+	for k, f := range sp.Freqs {
+		if f >= fLo && f <= fHi {
+			sum += sp.Mag[k]
+			n++
+		}
+	}
+	if n == 0 || sum == 0 {
+		return 0
+	}
+	mean := sum / float64(n)
+	if mean == 0 {
+		return 0
+	}
+	if math.IsNaN(sp.Mag[peak] / mean) {
+		return 0
+	}
+	return sp.Mag[peak] / mean
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"fmt"
+
+	"phasebeat/internal/dsp"
+)
+
+// Smooth applies the paper's two Hampel passes to one series at the raw
+// rate: subtract the large-window trend (DC removal) and suppress
+// high-frequency outliers with the small window.
+func Smooth(series []float64, cfg *Config) ([]float64, error) {
+	detrended, err := dsp.DetrendHampelStrided(series, cfg.TrendWindow, cfg.TrendStride)
+	if err != nil {
+		return nil, fmt.Errorf("core: detrend: %w", err)
+	}
+	smoothed, err := dsp.Hampel(detrended, cfg.SmoothWindow, cfg.HampelThreshold)
+	if err != nil {
+		return nil, fmt.Errorf("core: smooth: %w", err)
+	}
+	return smoothed, nil
+}
+
+// SmoothAll applies Smooth to every subcarrier series.
+func SmoothAll(phaseDiff [][]float64, cfg *Config) ([][]float64, error) {
+	out := make([][]float64, len(phaseDiff))
+	for i, series := range phaseDiff {
+		s, err := Smooth(series, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("subcarrier %d: %w", i, err)
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// Downsample reduces every smoothed series by the configured factor
+// (400 Hz → 20 Hz in the paper), returning the calibrated matrix the rest
+// of the pipeline consumes.
+func Downsample(smoothed [][]float64, cfg *Config) ([][]float64, error) {
+	out := make([][]float64, len(smoothed))
+	for i, series := range smoothed {
+		d, err := dsp.Downsample(series, cfg.DownsampleFactor)
+		if err != nil {
+			return nil, fmt.Errorf("subcarrier %d: %w", i, err)
+		}
+		out[i] = d
+	}
+	return out, nil
+}
+
+// Calibrate is the full data-calibration stage: Smooth then Downsample.
+func Calibrate(phaseDiff [][]float64, cfg *Config) ([][]float64, error) {
+	smoothed, err := SmoothAll(phaseDiff, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return Downsample(smoothed, cfg)
+}

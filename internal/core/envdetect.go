@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+
+	"phasebeat/internal/dsp"
+)
+
+// EnvironmentState classifies a window of phase-difference data.
+type EnvironmentState int
+
+const (
+	// EnvNoPerson means V is below the lower threshold: a static channel.
+	EnvNoPerson EnvironmentState = iota + 1
+	// EnvStationary means V lies in the stationary band: a present,
+	// stationary person whose vital signs are measurable.
+	EnvStationary
+	// EnvMotion means V exceeds the upper threshold: walking, standing up
+	// or other large movements.
+	EnvMotion
+)
+
+// String implements fmt.Stringer.
+func (s EnvironmentState) String() string {
+	switch s {
+	case EnvNoPerson:
+		return "no-person"
+	case EnvStationary:
+		return "stationary"
+	case EnvMotion:
+		return "motion"
+	default:
+		return fmt.Sprintf("EnvironmentState(%d)", int(s))
+	}
+}
+
+// EnvironmentDetection is the result of the threshold detector.
+type EnvironmentDetection struct {
+	// V holds the eq. (8) statistic per window.
+	V []float64
+	// States classifies each window.
+	States []EnvironmentState
+	// WindowLen is the samples-per-window used.
+	WindowLen int
+}
+
+// DetectEnvironment computes the eq. (8) statistic over consecutive
+// windows of the (calibrated, full-rate) phase-difference matrix
+// [subcarrier][sample] and classifies each window against the
+// [minV, maxV] stationary band.
+func DetectEnvironment(phaseDiff [][]float64, windowLen int, minV, maxV float64) (*EnvironmentDetection, error) {
+	if len(phaseDiff) == 0 || len(phaseDiff[0]) == 0 {
+		return nil, fmt.Errorf("%w: empty phase-difference matrix", ErrNoData)
+	}
+	if windowLen < 2 {
+		return nil, fmt.Errorf("core: environment window %d < 2", windowLen)
+	}
+	n := len(phaseDiff[0])
+	nWin := n / windowLen
+	if nWin == 0 {
+		nWin = 1
+	}
+	det := &EnvironmentDetection{
+		V:         make([]float64, nWin),
+		States:    make([]EnvironmentState, nWin),
+		WindowLen: windowLen,
+	}
+	for w := 0; w < nWin; w++ {
+		lo := w * windowLen
+		hi := lo + windowLen
+		if hi > n {
+			hi = n
+		}
+		var v float64
+		for _, series := range phaseDiff {
+			v += dsp.MeanAbsDev(series[lo:hi])
+		}
+		det.V[w] = v
+		switch {
+		case v < minV:
+			det.States[w] = EnvNoPerson
+		case v > maxV:
+			det.States[w] = EnvMotion
+		default:
+			det.States[w] = EnvStationary
+		}
+	}
+	return det, nil
+}
+
+// Debounce suppresses single-window state flips: any window whose two
+// neighbors agree with each other but not with it takes the neighbors'
+// state. Breathing amplitudes near the V thresholds otherwise fragment
+// long stationary runs.
+func (d *EnvironmentDetection) Debounce() {
+	n := len(d.States)
+	if n < 3 {
+		return
+	}
+	for w := 1; w < n-1; w++ {
+		if d.States[w] != d.States[w-1] && d.States[w-1] == d.States[w+1] {
+			d.States[w] = d.States[w-1]
+		}
+	}
+}
+
+// Segment is a run of consecutive windows sharing a state.
+type Segment struct {
+	// State is the classification of the run.
+	State EnvironmentState
+	// StartSample and EndSample delimit the run in raw samples
+	// [StartSample, EndSample).
+	StartSample, EndSample int
+}
+
+// Segments merges consecutive equal-state windows into runs.
+func (d *EnvironmentDetection) Segments() []Segment {
+	if len(d.States) == 0 {
+		return nil
+	}
+	out := make([]Segment, 0, 4)
+	cur := Segment{State: d.States[0], StartSample: 0, EndSample: d.WindowLen}
+	for w := 1; w < len(d.States); w++ {
+		if d.States[w] == cur.State {
+			cur.EndSample += d.WindowLen
+			continue
+		}
+		out = append(out, cur)
+		cur = Segment{
+			State:       d.States[w],
+			StartSample: w * d.WindowLen,
+			EndSample:   (w + 1) * d.WindowLen,
+		}
+	}
+	return append(out, cur)
+}
+
+// LongestStationary returns the longest stationary segment, or ok=false if
+// none exists.
+func (d *EnvironmentDetection) LongestStationary() (Segment, bool) {
+	var best Segment
+	found := false
+	for _, seg := range d.Segments() {
+		if seg.State != EnvStationary {
+			continue
+		}
+		if !found || seg.EndSample-seg.StartSample > best.EndSample-best.StartSample {
+			best = seg
+			found = true
+		}
+	}
+	return best, found
+}

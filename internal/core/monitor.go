@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"phasebeat/internal/trace"
+)
+
+// Update is one realtime estimate emitted by a Monitor.
+type Update struct {
+	// Time is the trace timestamp (seconds) of the newest packet that
+	// contributed to the estimate.
+	Time float64
+	// Result is the pipeline output for the current window.
+	Result *Result
+	// Err is non-nil when the window could not be processed (for example
+	// no stationary segment); Result may still carry the environment
+	// detection in that case.
+	Err error
+}
+
+// MonitorConfig configures a streaming Monitor.
+type MonitorConfig struct {
+	// Pipeline is the processing configuration.
+	Pipeline Config
+	// Persons is the monitored person count.
+	Persons int
+	// SampleRate is the incoming packet rate in Hz.
+	SampleRate float64
+	// NumAntennas and NumSubcarriers describe the incoming packets.
+	NumAntennas, NumSubcarriers int
+	// WindowSeconds is the analysis window length; estimates use the most
+	// recent window (the paper uses about a minute of data).
+	WindowSeconds float64
+	// UpdateEverySeconds is the stride between successive estimates.
+	UpdateEverySeconds float64
+}
+
+// DefaultMonitorConfig returns a realtime configuration: one-minute
+// windows, a new estimate every five seconds, paper defaults otherwise.
+func DefaultMonitorConfig() MonitorConfig {
+	return MonitorConfig{
+		Pipeline:           DefaultConfig(),
+		Persons:            1,
+		SampleRate:         400,
+		NumAntennas:        3,
+		NumSubcarriers:     30,
+		WindowSeconds:      60,
+		UpdateEverySeconds: 5,
+	}
+}
+
+// Monitor consumes a live CSI packet stream and emits periodic vital-sign
+// estimates. Feed packets with Ingest; read estimates from Updates; call
+// Close to stop the worker and release resources.
+type Monitor struct {
+	cfg       MonitorConfig
+	processor *Processor
+
+	in      chan trace.Packet
+	updates chan Update
+	stop    chan struct{}
+	done    chan struct{}
+
+	closeOnce sync.Once
+}
+
+// NewMonitor validates the configuration and starts the worker goroutine.
+func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
+	if cfg.SampleRate <= 0 {
+		return nil, fmt.Errorf("core: monitor sample rate must be positive, got %v", cfg.SampleRate)
+	}
+	if cfg.NumAntennas < 2 {
+		return nil, fmt.Errorf("core: monitor needs >= 2 antennas, got %d", cfg.NumAntennas)
+	}
+	if cfg.NumSubcarriers < 1 {
+		return nil, fmt.Errorf("core: monitor needs >= 1 subcarrier, got %d", cfg.NumSubcarriers)
+	}
+	if cfg.WindowSeconds <= 0 || cfg.UpdateEverySeconds <= 0 {
+		return nil, fmt.Errorf("core: monitor window %vs / stride %vs must be positive",
+			cfg.WindowSeconds, cfg.UpdateEverySeconds)
+	}
+	if cfg.Persons < 1 {
+		cfg.Persons = 1
+	}
+	proc, err := NewProcessor(WithConfig(cfg.Pipeline), WithPersons(cfg.Persons))
+	if err != nil {
+		return nil, err
+	}
+	m := &Monitor{
+		cfg:       cfg,
+		processor: proc,
+		in:        make(chan trace.Packet, 1),
+		updates:   make(chan Update, 1),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	go m.run()
+	return m, nil
+}
+
+// Updates returns the estimate stream. It is closed when the Monitor
+// stops.
+func (m *Monitor) Updates() <-chan Update { return m.updates }
+
+// Ingest submits one packet. It blocks until the worker accepts it and
+// returns false after Close.
+func (m *Monitor) Ingest(p trace.Packet) bool {
+	// Check for shutdown first: a closed stop channel and a free buffer
+	// slot would otherwise race in the select below.
+	select {
+	case <-m.stop:
+		return false
+	default:
+	}
+	select {
+	case <-m.stop:
+		return false
+	case m.in <- p:
+		return true
+	}
+}
+
+// Close stops the worker and waits for it to exit. It is safe to call
+// multiple times.
+func (m *Monitor) Close() {
+	m.closeOnce.Do(func() { close(m.stop) })
+	<-m.done
+}
+
+// run is the worker loop: accumulate packets into a ring of the window
+// size and process every stride.
+func (m *Monitor) run() {
+	defer close(m.done)
+	defer close(m.updates)
+
+	windowPackets := int(m.cfg.WindowSeconds * m.cfg.SampleRate)
+	stridePackets := int(m.cfg.UpdateEverySeconds * m.cfg.SampleRate)
+	if windowPackets < 1 {
+		windowPackets = 1
+	}
+	if stridePackets < 1 {
+		stridePackets = 1
+	}
+	buf := make([]trace.Packet, 0, windowPackets)
+	sinceLast := 0
+
+	for {
+		select {
+		case <-m.stop:
+			return
+		case p := <-m.in:
+			buf = append(buf, p)
+			if len(buf) > windowPackets {
+				buf = buf[len(buf)-windowPackets:]
+			}
+			sinceLast++
+			if len(buf) < windowPackets || sinceLast < stridePackets {
+				continue
+			}
+			sinceLast = 0
+			update := m.processWindow(buf)
+			select {
+			case m.updates <- update:
+			case <-m.stop:
+				return
+			}
+		}
+	}
+}
+
+// processWindow runs the batch pipeline on the current buffer.
+func (m *Monitor) processWindow(buf []trace.Packet) Update {
+	packets := make([]trace.Packet, len(buf))
+	copy(packets, buf)
+	tr := &trace.Trace{
+		SampleRate:     m.cfg.SampleRate,
+		NumAntennas:    m.cfg.NumAntennas,
+		NumSubcarriers: m.cfg.NumSubcarriers,
+		Packets:        packets,
+	}
+	res, err := m.processor.Process(tr)
+	return Update{Time: packets[len(packets)-1].Time, Result: res, Err: err}
+}
+
+// DrainFor reads updates for at most d, returning those received. It is a
+// convenience for tests and examples.
+func (m *Monitor) DrainFor(d time.Duration) []Update {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	var out []Update
+	for {
+		select {
+		case u, ok := <-m.updates:
+			if !ok {
+				return out
+			}
+			out = append(out, u)
+		case <-timer.C:
+			return out
+		}
+	}
+}

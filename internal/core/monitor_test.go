@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"phasebeat/internal/csisim"
+)
+
+func TestMonitorValidation(t *testing.T) {
+	bad := DefaultMonitorConfig()
+	bad.SampleRate = 0
+	if _, err := NewMonitor(bad); err == nil {
+		t.Error("want error for zero rate")
+	}
+	bad = DefaultMonitorConfig()
+	bad.NumAntennas = 1
+	if _, err := NewMonitor(bad); err == nil {
+		t.Error("want error for one antenna")
+	}
+	bad = DefaultMonitorConfig()
+	bad.WindowSeconds = 0
+	if _, err := NewMonitor(bad); err == nil {
+		t.Error("want error for zero window")
+	}
+	bad = DefaultMonitorConfig()
+	bad.NumSubcarriers = 0
+	if _, err := NewMonitor(bad); err == nil {
+		t.Error("want error for zero subcarriers")
+	}
+	bad = DefaultMonitorConfig()
+	bad.Pipeline.TopK = 0
+	if _, err := NewMonitor(bad); err == nil {
+		t.Error("want error for bad pipeline config")
+	}
+}
+
+func TestMonitorStreamsEstimates(t *testing.T) {
+	sim, err := csisim.FixedRatesScenario([]float64{18}, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultMonitorConfig()
+	cfg.WindowSeconds = 40
+	cfg.UpdateEverySeconds = 10
+	m, err := NewMonitor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	// Feed 55 s of packets; expect ≥ 2 updates (at 40 s and 50 s).
+	total := int(55 * cfg.SampleRate)
+	var updates []Update
+	collect := make(chan struct{})
+	go func() {
+		defer close(collect)
+		for u := range m.Updates() {
+			updates = append(updates, u)
+			if len(updates) >= 2 {
+				return
+			}
+		}
+	}()
+	for i := 0; i < total; i++ {
+		if !m.Ingest(sim.NextPacket()) {
+			t.Fatal("Ingest refused while running")
+		}
+	}
+	select {
+	case <-collect:
+	case <-time.After(30 * time.Second):
+		t.Fatal("timed out waiting for updates")
+	}
+	if len(updates) < 2 {
+		t.Fatalf("got %d updates, want >= 2", len(updates))
+	}
+	for i, u := range updates {
+		if u.Err != nil {
+			t.Fatalf("update %d error: %v", i, u.Err)
+		}
+		if u.Result == nil || u.Result.Breathing == nil {
+			t.Fatalf("update %d missing breathing estimate", i)
+		}
+		if math.Abs(u.Result.Breathing.RateBPM-18) > 1.5 {
+			t.Errorf("update %d breathing = %.2f, want ~18", i, u.Result.Breathing.RateBPM)
+		}
+	}
+}
+
+func TestMonitorCloseIsIdempotentAndStopsIngest(t *testing.T) {
+	m, err := NewMonitor(DefaultMonitorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	m.Close() // must not panic
+	sim, err := csisim.FixedRatesScenario([]float64{15}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Ingest(sim.NextPacket()) {
+		t.Error("Ingest should refuse after Close")
+	}
+	// Updates channel must be closed.
+	if _, ok := <-m.Updates(); ok {
+		t.Error("updates channel should be closed")
+	}
+}
+
+func TestMonitorDrainFor(t *testing.T) {
+	m, err := NewMonitor(DefaultMonitorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	got := m.DrainFor(50 * time.Millisecond)
+	if len(got) != 0 {
+		t.Errorf("expected no updates, got %d", len(got))
+	}
+}

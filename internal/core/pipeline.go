@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+
+	"phasebeat/internal/trace"
+)
+
+// Result bundles everything one batch run of the pipeline produces,
+// including the intermediate products the paper's figures visualize.
+type Result struct {
+	// Breathing is the single-person breathing estimate (nil if the
+	// breathing stage was skipped or failed — see Err).
+	Breathing *BreathingEstimate
+	// Heart is the heart-rate estimate (nil when not computed).
+	Heart *HeartEstimate
+	// MultiPerson holds the root-MUSIC rates when the processor was asked
+	// for more than one person.
+	MultiPerson *MultiPersonEstimate
+
+	// Environment is the eq. (8) detection over the smoothed data.
+	Environment *EnvironmentDetection
+	// StationarySegment is the segment estimates were computed on.
+	StationarySegment Segment
+	// Selection is the subcarrier-selection outcome (Fig. 7).
+	Selection *SubcarrierSelection
+	// Calibrated is the calibrated matrix [subcarrier][sample] at the
+	// downsampled rate (Fig. 5).
+	Calibrated [][]float64
+	// Bands holds the wavelet breathing/heart signals (Fig. 6).
+	Bands *DWTBands
+	// EstimationRate is the sample rate of Calibrated and Bands in Hz.
+	EstimationRate float64
+}
+
+// Processor runs the PhaseBeat pipeline over complete traces.
+type Processor struct {
+	cfg      Config
+	nPersons int
+}
+
+// Option customizes a Processor.
+type Option func(*Processor)
+
+// WithConfig replaces the entire configuration.
+func WithConfig(cfg Config) Option {
+	return func(p *Processor) { p.cfg = cfg }
+}
+
+// WithPersons sets the number of monitored persons (default 1); for more
+// than one the processor runs the root-MUSIC multi-person estimator.
+func WithPersons(n int) Option {
+	return func(p *Processor) { p.nPersons = n }
+}
+
+// NewProcessor builds a Processor with the paper's defaults.
+func NewProcessor(opts ...Option) (*Processor, error) {
+	p := &Processor{cfg: DefaultConfig(), nPersons: 1}
+	for _, opt := range opts {
+		opt(p)
+	}
+	if err := p.cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if p.nPersons < 1 {
+		return nil, fmt.Errorf("core: person count %d < 1", p.nPersons)
+	}
+	return p, nil
+}
+
+// Config returns a copy of the processor configuration.
+func (p *Processor) Config() Config { return p.cfg }
+
+// Process runs the full pipeline on a trace: extraction → smoothing →
+// environment detection → stationary-segment selection → downsampling →
+// subcarrier selection → DWT → rate estimation.
+func (p *Processor) Process(tr *trace.Trace) (*Result, error) {
+	if tr == nil || tr.Len() == 0 {
+		return nil, fmt.Errorf("%w: empty trace", ErrNoData)
+	}
+	phaseDiff, err := ExtractPhaseDifference(tr, p.cfg.AntennaA, p.cfg.AntennaB)
+	if err != nil {
+		return nil, err
+	}
+
+	smoothed, err := SmoothAll(phaseDiff, &p.cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Amplitude SNR gate: subcarriers in a deep fade on either antenna
+	// carry noise-dominated phase. They are excluded from the V statistic,
+	// the sensitivity ranking and the root-MUSIC snapshots alike.
+	eligible := AmplitudeGate(tr, p.cfg.AntennaA, p.cfg.AntennaB, 0.3)
+	envInput := smoothed
+	if eligible != nil {
+		envInput = make([][]float64, 0, len(smoothed))
+		for i, series := range smoothed {
+			if i < len(eligible) && eligible[i] {
+				envInput = append(envInput, series)
+			}
+		}
+		if len(envInput) == 0 {
+			envInput = smoothed
+		}
+	}
+
+	env, err := DetectEnvironment(envInput, p.cfg.EnvWindow, p.cfg.EnvMinV, p.cfg.EnvMaxV)
+	if err != nil {
+		return nil, err
+	}
+	env.Debounce()
+	seg, ok := env.LongestStationary()
+	if !ok {
+		return &Result{Environment: env}, fmt.Errorf("%w: states %v", ErrNotStationary, env.States)
+	}
+	if seg.EndSample > len(smoothed[0]) {
+		seg.EndSample = len(smoothed[0])
+	}
+	if seg.EndSample-seg.StartSample < p.cfg.MinStationaryWindows*p.cfg.EnvWindow {
+		return &Result{Environment: env}, fmt.Errorf("%w: longest stationary run %d samples, need %d",
+			ErrNotStationary, seg.EndSample-seg.StartSample, p.cfg.MinStationaryWindows*p.cfg.EnvWindow)
+	}
+
+	// Restrict to the stationary segment before estimation.
+	segment := make([][]float64, len(smoothed))
+	for i, series := range smoothed {
+		segment[i] = series[seg.StartSample:seg.EndSample]
+	}
+	calibrated, err := Downsample(segment, &p.cfg)
+	if err != nil {
+		return nil, err
+	}
+	estRate := tr.SampleRate / float64(p.cfg.DownsampleFactor)
+
+	sel, err := SelectSubcarrier(calibrated, p.cfg.TopK, eligible)
+	if err != nil {
+		return nil, err
+	}
+
+	bands, err := DenoiseDWT(calibrated[sel.Selected], estRate, &p.cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Environment:       env,
+		StationarySegment: seg,
+		Selection:         sel,
+		Calibrated:        calibrated,
+		Bands:             bands,
+		EstimationRate:    estRate,
+	}
+
+	breathingHz := 0.0
+	if p.nPersons == 1 {
+		breathing, err := EstimateBreathingPeaks(bands.Breathing, estRate, &p.cfg)
+		if err != nil {
+			return res, fmt.Errorf("breathing estimation: %w", err)
+		}
+		res.Breathing = breathing
+		breathingHz = breathing.RateBPM / 60
+	} else {
+		// Feed root-MUSIC only the SNR-gated subcarrier series.
+		musicInput := calibrated
+		if sel.Eligible != nil {
+			musicInput = make([][]float64, 0, len(calibrated))
+			for i, series := range calibrated {
+				if sel.Eligible[i] {
+					musicInput = append(musicInput, series)
+				}
+			}
+		}
+		multi, err := EstimateBreathingMultiRootMUSIC(musicInput, estRate, p.nPersons, &p.cfg)
+		if err != nil {
+			return res, fmt.Errorf("multi-person estimation: %w", err)
+		}
+		res.MultiPerson = multi
+	}
+
+	heart, err := EstimateHeartRate(bands.Heart, estRate, breathingHz, &p.cfg)
+	if err != nil {
+		// Heart estimation is best-effort: breathing results remain valid
+		// even when the heart band is too weak (omnidirectional antenna).
+		return res, nil
+	}
+	res.Heart = heart
+	return res, nil
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+
+	"phasebeat/internal/trace"
+)
+
+// TrackPoint is one entry of a vital-sign time series.
+type TrackPoint struct {
+	// Time is the trace timestamp (seconds) at the window's end.
+	Time float64
+	// BreathingBPM and HeartBPM are the window estimates; NaN-free —
+	// HasHeart reports whether a heart estimate was available.
+	BreathingBPM float64
+	HeartBPM     float64
+	HasHeart     bool
+	// Err is non-nil when the window could not be estimated (motion,
+	// absence); the rate fields are zero in that case.
+	Err error
+}
+
+// TrackConfig configures TrackRates.
+type TrackConfig struct {
+	// Pipeline is the processing configuration.
+	Pipeline Config
+	// WindowSeconds is the sliding analysis window.
+	WindowSeconds float64
+	// StrideSeconds is the spacing between consecutive estimates.
+	StrideSeconds float64
+}
+
+// DefaultTrackConfig uses one-minute windows every 10 s.
+func DefaultTrackConfig() TrackConfig {
+	return TrackConfig{
+		Pipeline:      DefaultConfig(),
+		WindowSeconds: 60,
+		StrideSeconds: 10,
+	}
+}
+
+// TrackRates runs the batch pipeline over sliding windows of a recorded
+// trace, producing a vital-sign time series — the offline counterpart of
+// the streaming Monitor, for analysing long captures (sleep studies).
+func TrackRates(tr *trace.Trace, cfg TrackConfig) ([]TrackPoint, error) {
+	if tr == nil || tr.Len() == 0 {
+		return nil, fmt.Errorf("%w: empty trace", ErrNoData)
+	}
+	if cfg.WindowSeconds <= 0 || cfg.StrideSeconds <= 0 {
+		return nil, fmt.Errorf("core: window %vs / stride %vs must be positive",
+			cfg.WindowSeconds, cfg.StrideSeconds)
+	}
+	window := int(cfg.WindowSeconds * tr.SampleRate)
+	stride := int(cfg.StrideSeconds * tr.SampleRate)
+	if window < 1 || window > tr.Len() {
+		return nil, fmt.Errorf("%w: window %d samples, trace %d", ErrNoData, window, tr.Len())
+	}
+	p, err := NewProcessor(WithConfig(cfg.Pipeline))
+	if err != nil {
+		return nil, err
+	}
+	var out []TrackPoint
+	for start := 0; start+window <= tr.Len(); start += stride {
+		sub, err := tr.Slice(start, start+window)
+		if err != nil {
+			return nil, err
+		}
+		point := TrackPoint{Time: sub.Packets[sub.Len()-1].Time}
+		res, err := p.Process(sub)
+		switch {
+		case err != nil:
+			point.Err = err
+		case res.Breathing != nil:
+			point.BreathingBPM = res.Breathing.RateBPM
+			if res.Heart != nil {
+				point.HeartBPM = res.Heart.RateBPM
+				point.HasHeart = true
+			}
+		default:
+			point.Err = fmt.Errorf("%w: window produced no estimate", ErrNoData)
+		}
+		out = append(out, point)
+	}
+	return out, nil
+}

@@ -1,0 +1,62 @@
+// Package csisim is the hardware substitute for the PhaseBeat
+// reproduction: a physics-based simulator of Intel 5300 CSI measurements.
+// It generates per-packet complex CSI for 30 OFDM subcarriers on multiple
+// receive antennas from (a) a static multipath environment, (b) persons
+// whose chest motion modulates a reflected path as
+// d(t) = D + A_b·cos(2πf_b t) + A_h·cos(2πf_h t), and (c) the NIC phase
+// error model of the paper's eq. (3)-(4): packet-boundary-detection delay,
+// sampling frequency offset, carrier frequency offset, per-antenna PLL
+// offset and AWGN. The error terms are common across antennas of a packet
+// (they share clock and down-converter), which is exactly the property the
+// phase-difference trick exploits — so Theorem 1's stability emerges from
+// the model rather than being assumed.
+package csisim
+
+// Physical and 802.11n constants.
+const (
+	// SpeedOfLight in m/s.
+	SpeedOfLight = 299792458.0
+	// SubcarrierSpacingHz is the 802.11 OFDM subcarrier spacing.
+	SubcarrierSpacingHz = 312.5e3
+	// NumSubcarriers is the number of subcarriers the Intel 5300 reports.
+	NumSubcarriers = 30
+	// FFTSize is the OFDM FFT size for a 20 MHz channel.
+	FFTSize = 64
+	// SymbolDurationS is the total OFDM symbol duration Ts (data + guard).
+	SymbolDurationS = 4e-6
+	// DataDurationS is the data portion Tu of an OFDM symbol.
+	DataDurationS = 3.2e-6
+	// DefaultCarrierHz is a 5 GHz-band carrier (channel 64).
+	DefaultCarrierHz = 5.32e9
+	// DefaultAntennaSpacingM is half the 5 GHz wavelength, matching the
+	// paper's d = 2.68 cm.
+	DefaultAntennaSpacingM = 0.0268
+	// DefaultSampleRate is the paper's packet injection rate in Hz.
+	DefaultSampleRate = 400.0
+)
+
+// SubcarrierIndices returns the 30 subcarrier indices m_i the Intel 5300
+// reports for a 20 MHz channel (grouping Ng = 2, per the CSI Tool).
+func SubcarrierIndices() []int {
+	out := make([]int, 0, NumSubcarriers)
+	for m := -28; m <= -2; m += 2 {
+		out = append(out, m)
+	}
+	out = append(out, -1, 1)
+	for m := 3; m <= 27; m += 2 {
+		out = append(out, m)
+	}
+	out = append(out, 28)
+	return out
+}
+
+// SubcarrierFrequencies returns the absolute RF frequency of each reported
+// subcarrier for the given carrier frequency.
+func SubcarrierFrequencies(carrierHz float64) []float64 {
+	idx := SubcarrierIndices()
+	out := make([]float64, len(idx))
+	for i, m := range idx {
+		out[i] = carrierHz + float64(m)*SubcarrierSpacingHz
+	}
+	return out
+}

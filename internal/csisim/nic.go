@@ -1,0 +1,101 @@
+package csisim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// NICImpairments models the measurement error terms of the paper's
+// eq. (3)-(4): the measured phase of subcarrier i is
+//
+//	∠CSI_i + (λp + λs)·m_i + λc + β + Z
+//
+// with λp = 2πΔt/N (packet boundary detection), λs = 2π·SFO·(Ts/Tu)·n
+// (sampling frequency offset), λc = 2πΔf·Ts·n (carrier frequency offset),
+// β a constant per-antenna PLL offset, and Z AWGN. Δt and n change per
+// packet, so single-antenna phase is useless; all terms except β and Z are
+// identical across the antennas of one packet.
+type NICImpairments struct {
+	// PBDJitterSamples is the span of the uniform packet-boundary-
+	// detection delay Δt, in FFT samples (Intel 5300 shows ±~2 samples).
+	PBDJitterSamples float64
+	// SFO is the relative sampling-period offset (T'-T)/T, typically on
+	// the order of 1e-5 (tens of ppm).
+	SFO float64
+	// CFOHz is the residual carrier frequency offset Δf between the
+	// transmitter and receiver after coarse correction.
+	CFOHz float64
+	// Beta holds the constant PLL phase offset of each receive antenna.
+	Beta []float64
+	// PhaseNoiseSigma is the standard deviation of the residual PLL phase
+	// jitter Z in radians.
+	PhaseNoiseSigma float64
+	// AmplitudeNoiseSigma is the relative amplitude noise level.
+	AmplitudeNoiseSigma float64
+	// ThermalNoiseSigma is the standard deviation of the additive complex
+	// receiver noise per I/Q component. Because it is additive, weak
+	// channels (long distance, through-wall) suffer proportionally more
+	// phase noise — the mechanism behind the paper's distance experiments.
+	ThermalNoiseSigma float64
+	// AGCStepProb is the per-packet probability that a receive chain's
+	// automatic gain control re-quantizes, stepping the reported amplitude
+	// by AGCStepDB. AGC is a real positive gain: it corrupts CSI amplitude
+	// (the baseline method's input) but cancels in the phase difference —
+	// one of the reasons the paper prefers phase data.
+	AGCStepProb float64
+	// AGCStepDB is the magnitude of one AGC step in dB.
+	AGCStepDB float64
+	// BurstProb is the per-packet probability of an amplitude burst
+	// (interference / reporting glitch) scaling one antenna's amplitudes.
+	BurstProb float64
+}
+
+// Validate checks the impairment model for the given antenna count.
+func (n *NICImpairments) Validate(antennas int) error {
+	if len(n.Beta) != antennas {
+		return fmt.Errorf("csisim: %d beta offsets for %d antennas", len(n.Beta), antennas)
+	}
+	if n.PBDJitterSamples < 0 || n.PhaseNoiseSigma < 0 || n.AmplitudeNoiseSigma < 0 || n.ThermalNoiseSigma < 0 {
+		return fmt.Errorf("csisim: negative noise parameter")
+	}
+	if n.AGCStepProb < 0 || n.AGCStepProb > 1 || n.BurstProb < 0 || n.BurstProb > 1 {
+		return fmt.Errorf("csisim: AGC/burst probabilities must be in [0, 1]")
+	}
+	return nil
+}
+
+// DefaultImpairments returns a realistic Intel 5300-like impairment model
+// for the given antenna count, with randomized PLL offsets.
+func DefaultImpairments(rng *rand.Rand, antennas int) NICImpairments {
+	beta := make([]float64, antennas)
+	for i := range beta {
+		beta[i] = rng.Float64()*2*math.Pi - math.Pi
+	}
+	return NICImpairments{
+		PBDJitterSamples:    2.0,
+		SFO:                 2e-5,
+		CFOHz:               1.5e3, // residual after coarse CFO correction
+		Beta:                beta,
+		PhaseNoiseSigma:     0.01,
+		AmplitudeNoiseSigma: 0.02,
+		ThermalNoiseSigma:   0.012,
+		AGCStepProb:         0.0015,
+		AGCStepDB:           0.75,
+		BurstProb:           0.004,
+	}
+}
+
+// packetErrors returns the per-packet phase error terms: the slope applied
+// per subcarrier index (λp + λs) and the common offset λc.
+func (n *NICImpairments) packetErrors(rng *rand.Rand, packetIndex int) (slope, offset float64) {
+	deltaT := (rng.Float64()*2 - 1) * n.PBDJitterSamples
+	lambdaP := 2 * math.Pi * deltaT / FFTSize
+	// The sampling time offset for the current packet grows with the
+	// packet index (the paper's n); modulo keeps it bounded like a
+	// periodically re-synchronized receiver.
+	sampleOffset := float64(packetIndex%1024) + rng.Float64()
+	lambdaS := 2 * math.Pi * n.SFO * (SymbolDurationS / DataDurationS) * sampleOffset
+	lambdaC := 2 * math.Pi * n.CFOHz * SymbolDurationS * sampleOffset
+	return lambdaP + lambdaS, lambdaC
+}

@@ -1,0 +1,155 @@
+package csisim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ActivityState describes what a monitored person is doing. Stationary
+// states (sitting, standing, sleeping) are the ones PhaseBeat can extract
+// vital signs from; transient/large-motion states must be rejected by
+// environment detection.
+type ActivityState int
+
+const (
+	// StateSitting is a stationary person (vital signs measurable).
+	StateSitting ActivityState = iota + 1
+	// StateStanding is a stationary standing person.
+	StateStanding
+	// StateSleeping is a stationary lying person.
+	StateSleeping
+	// StateStandingUp is a short large-motion transition.
+	StateStandingUp
+	// StateWalking is sustained large motion.
+	StateWalking
+	// StateAbsent means the person is out of range (static channel only).
+	StateAbsent
+)
+
+// String implements fmt.Stringer.
+func (s ActivityState) String() string {
+	switch s {
+	case StateSitting:
+		return "sitting"
+	case StateStanding:
+		return "standing"
+	case StateSleeping:
+		return "sleeping"
+	case StateStandingUp:
+		return "standing-up"
+	case StateWalking:
+		return "walking"
+	case StateAbsent:
+		return "absent"
+	default:
+		return fmt.Sprintf("ActivityState(%d)", int(s))
+	}
+}
+
+// Stationary reports whether vital signs are measurable in this state.
+func (s ActivityState) Stationary() bool {
+	switch s {
+	case StateSitting, StateStanding, StateSleeping:
+		return true
+	default:
+		return false
+	}
+}
+
+// ScheduleSegment assigns an activity state to a time span.
+type ScheduleSegment struct {
+	// State is the activity during this segment.
+	State ActivityState
+	// DurationS is the segment length in seconds.
+	DurationS float64
+}
+
+// Person models one monitored subject.
+type Person struct {
+	// BreathingRateBPM is the true breathing rate in breaths per minute
+	// (typical adults: 10-30).
+	BreathingRateBPM float64
+	// HeartRateBPM is the true heart rate in beats per minute (50-110).
+	HeartRateBPM float64
+	// BreathingAmpM is the peak path-length modulation caused by chest
+	// displacement, in meters (≈ 2× chest excursion; ~5 mm typical).
+	BreathingAmpM float64
+	// HeartAmpM is the peak path-length modulation from heartbeat, in
+	// meters (~0.5 mm — orders of magnitude weaker, per the paper).
+	HeartAmpM float64
+	// BreathPhase and HeartPhase are initial phases in radians.
+	BreathPhase, HeartPhase float64
+	// PathDistanceM is the mean length D of the Tx→chest→Rx path.
+	PathDistanceM float64
+	// AoADeg is the angle of arrival of the chest-reflected path at the
+	// receive array, in degrees from broadside.
+	AoADeg float64
+	// ReflectionGain is the amplitude gain of the chest path relative to a
+	// unit-gain reference (set by the scenario from distance/wall/antenna).
+	ReflectionGain float64
+	// Schedule lists activity segments; when exhausted the last state
+	// continues. An empty schedule means sitting forever.
+	Schedule []ScheduleSegment
+}
+
+// Validate checks the physiological parameters.
+func (p *Person) Validate() error {
+	if p.BreathingRateBPM < 4 || p.BreathingRateBPM > 60 {
+		return fmt.Errorf("csisim: breathing rate %.1f bpm outside [4, 60]", p.BreathingRateBPM)
+	}
+	if p.HeartRateBPM < 30 || p.HeartRateBPM > 220 {
+		return fmt.Errorf("csisim: heart rate %.1f bpm outside [30, 220]", p.HeartRateBPM)
+	}
+	if p.BreathingAmpM < 0 || p.HeartAmpM < 0 {
+		return fmt.Errorf("csisim: negative motion amplitude")
+	}
+	if p.PathDistanceM <= 0 {
+		return fmt.Errorf("csisim: path distance must be positive, got %v", p.PathDistanceM)
+	}
+	return nil
+}
+
+// StateAt returns the person's activity at time t (seconds).
+func (p *Person) StateAt(t float64) ActivityState {
+	if len(p.Schedule) == 0 {
+		return StateSitting
+	}
+	acc := 0.0
+	for _, seg := range p.Schedule {
+		acc += seg.DurationS
+		if t < acc {
+			return seg.State
+		}
+	}
+	return p.Schedule[len(p.Schedule)-1].State
+}
+
+// pathLength returns the instantaneous chest-path length at time t for a
+// stationary person: D + A_b·cos(2πf_b t + φ_b) + A_h·cos(2πf_h t + φ_h).
+func (p *Person) pathLength(t float64) float64 {
+	fb := p.BreathingRateBPM / 60
+	fh := p.HeartRateBPM / 60
+	return p.PathDistanceM +
+		p.BreathingAmpM*math.Cos(2*math.Pi*fb*t+p.BreathPhase) +
+		p.HeartAmpM*math.Cos(2*math.Pi*fh*t+p.HeartPhase)
+}
+
+// RandomPerson draws a physiologically plausible person with the given
+// chest-path distance and reflection gain. Rates are uniform over the
+// ranges the paper's band assignments assume (breathing 10.2-30 bpm inside
+// α4's 0-0.625 Hz when sampled at 20 Hz; heart 50-110 bpm inside β3+β4's
+// 0.625-2.5 Hz).
+func RandomPerson(rng *rand.Rand, pathDistanceM, reflectionGain float64) Person {
+	return Person{
+		BreathingRateBPM: 10.2 + rng.Float64()*19.8,
+		HeartRateBPM:     50 + rng.Float64()*60,
+		BreathingAmpM:    0.0025 + rng.Float64()*0.0025,
+		HeartAmpM:        0.0004 + rng.Float64()*0.0005,
+		BreathPhase:      rng.Float64() * 2 * math.Pi,
+		HeartPhase:       rng.Float64() * 2 * math.Pi,
+		PathDistanceM:    pathDistanceM,
+		AoADeg:           -60 + rng.Float64()*120,
+		ReflectionGain:   reflectionGain,
+	}
+}

@@ -1,0 +1,152 @@
+package csisim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ScenarioKind names the paper's three experimental setups (Section IV-A).
+type ScenarioKind int
+
+const (
+	// ScenarioLaboratory is the 4.5×8.8 m computer laboratory: rich
+	// multipath, short Tx-Rx distance.
+	ScenarioLaboratory ScenarioKind = iota + 1
+	// ScenarioThroughWall places a wall between the person+transmitter and
+	// the receiver.
+	ScenarioThroughWall
+	// ScenarioCorridor is the 20 m corridor with a long LOS.
+	ScenarioCorridor
+)
+
+// String implements fmt.Stringer.
+func (k ScenarioKind) String() string {
+	switch k {
+	case ScenarioLaboratory:
+		return "laboratory"
+	case ScenarioThroughWall:
+		return "through-wall"
+	case ScenarioCorridor:
+		return "corridor"
+	default:
+		return fmt.Sprintf("ScenarioKind(%d)", int(k))
+	}
+}
+
+// Scenario bundles the knobs experiments sweep.
+type Scenario struct {
+	// Kind selects the environment template.
+	Kind ScenarioKind
+	// TxRxDistanceM is the transmitter-receiver separation.
+	TxRxDistanceM float64
+	// NumPersons is how many monitored persons to place.
+	NumPersons int
+	// DirectionalTx enables the transmit-side directional antenna the
+	// paper uses for heart-rate experiments.
+	DirectionalTx bool
+	// SampleRate overrides the packet rate (0 → 400 Hz).
+	SampleRate float64
+	// Seed drives all randomness for reproducibility.
+	Seed int64
+}
+
+// Build constructs a Simulator for the scenario, drawing random persons
+// and multipath from the scenario seed. The persons' ground truth is
+// available via Simulator.Truth.
+func (sc Scenario) Build() (*Simulator, error) {
+	if sc.TxRxDistanceM <= 0 {
+		return nil, fmt.Errorf("csisim: scenario distance must be positive, got %v", sc.TxRxDistanceM)
+	}
+	if sc.NumPersons < 0 {
+		return nil, fmt.Errorf("csisim: negative person count")
+	}
+	rng := rand.New(rand.NewSource(sc.Seed))
+
+	var env Environment
+	switch sc.Kind {
+	case ScenarioLaboratory:
+		env = Environment{
+			CarrierHz:       DefaultCarrierHz,
+			AntennaSpacingM: DefaultAntennaSpacingM,
+			StaticPaths:     RandomStaticPaths(rng, 7, sc.TxRxDistanceM),
+			TxRxDistanceM:   sc.TxRxDistanceM,
+		}
+	case ScenarioThroughWall:
+		env = Environment{
+			CarrierHz:         DefaultCarrierHz,
+			AntennaSpacingM:   DefaultAntennaSpacingM,
+			StaticPaths:       RandomStaticPaths(rng, 4, sc.TxRxDistanceM),
+			TxRxDistanceM:     sc.TxRxDistanceM,
+			WallAttenuationDB: 6,
+		}
+		// The wall sits between transmitter and receiver, so the static
+		// paths are attenuated too; with a fixed thermal noise floor this
+		// costs SNR across the board (Fig. 16's extra error).
+		wallAmp := env.wallAmplitudeFactor()
+		for i := range env.StaticPaths {
+			env.StaticPaths[i].Gain *= wallAmp
+		}
+	case ScenarioCorridor:
+		env = Environment{
+			CarrierHz:       DefaultCarrierHz,
+			AntennaSpacingM: DefaultAntennaSpacingM,
+			StaticPaths:     RandomStaticPaths(rng, 3, sc.TxRxDistanceM),
+			TxRxDistanceM:   sc.TxRxDistanceM,
+		}
+		// Corridors waveguide: the field decays slower than free space,
+		// so partially undo the 1/d falloff of the generic path model.
+		boost := math.Pow(math.Max(1, sc.TxRxDistanceM), 0.25)
+		for i := range env.StaticPaths {
+			env.StaticPaths[i].Gain *= boost
+		}
+	default:
+		return nil, fmt.Errorf("csisim: unknown scenario kind %v", sc.Kind)
+	}
+
+	persons := make([]Person, 0, sc.NumPersons)
+	for i := 0; i < sc.NumPersons; i++ {
+		// The chest-path gain follows the person's own reflected path
+		// length — a person near a short link sits close to it (inside
+		// the first Fresnel zone) and still reflects strongly.
+		pathDist := math.Max(2.2, sc.TxRxDistanceM*0.9) + rng.Float64()*1.5
+		gain := ReflectionGainForPath(pathDist, sc.DirectionalTx)
+		p := RandomPerson(rng, pathDist, gain)
+		// Spread breathing rates apart so multi-person trials are
+		// physically distinguishable (as in the paper's experiments).
+		if sc.NumPersons > 1 {
+			p.BreathingRateBPM = 8 + float64(i)*16/float64(sc.NumPersons) +
+				rng.Float64()*10/float64(sc.NumPersons)
+		}
+		persons = append(persons, p)
+	}
+
+	return New(Config{
+		Env:         env,
+		Persons:     persons,
+		SampleRate:  sc.SampleRate,
+		NumAntennas: 3,
+		Seed:        rng.Int63(),
+	})
+}
+
+// FixedRatesScenario builds a laboratory simulator whose persons breathe at
+// exactly the given rates (bpm) — used to reproduce Fig. 8's controlled
+// multi-person demonstration.
+func FixedRatesScenario(breathingBPM []float64, seed int64) (*Simulator, error) {
+	rng := rand.New(rand.NewSource(seed))
+	env := Environment{
+		CarrierHz:       DefaultCarrierHz,
+		AntennaSpacingM: DefaultAntennaSpacingM,
+		StaticPaths:     RandomStaticPaths(rng, 6, 3),
+		TxRxDistanceM:   3,
+	}
+	persons := make([]Person, 0, len(breathingBPM))
+	for _, bpm := range breathingBPM {
+		pathDist := 4 + rng.Float64()*2
+		p := RandomPerson(rng, pathDist, ReflectionGainForPath(pathDist, false))
+		p.BreathingRateBPM = bpm
+		persons = append(persons, p)
+	}
+	return New(Config{Env: env, Persons: persons, NumAntennas: 3, Seed: rng.Int63()})
+}

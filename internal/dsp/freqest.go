@@ -1,0 +1,116 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// RefineFrequencyPhase implements the Vital-Radio [5] sub-bin frequency
+// estimator PhaseBeat adopts for heart rate: locate the FFT peak in
+// [fLo, fHi], keep only the peak bin and its two adjacent bins, inverse-FFT
+// that 3-bin band to a complex time-domain signal, and estimate the
+// frequency from the slope of its unwrapped phase.
+//
+// x is a real signal sampled at fs. padTo optionally zero-pads the
+// transform (padTo <= len(x) disables padding).
+func RefineFrequencyPhase(x []float64, fs, fLo, fHi float64, padTo int) (float64, error) {
+	if err := validateFFTArgs(len(x)); err != nil {
+		return 0, err
+	}
+	if fs <= 0 {
+		return 0, fmt.Errorf("dsp: sample rate must be positive, got %v", fs)
+	}
+	sig := RemoveMean(x)
+	n := len(sig)
+	if padTo > n {
+		sig = ZeroPad(sig, padTo)
+		n = padTo
+	}
+	bins := FFTReal(sig)
+	half := n / 2
+
+	// Locate the strongest positive-frequency bin in band.
+	peak := -1
+	for k := 1; k <= half; k++ {
+		f := BinFrequency(k, n, fs)
+		if f < fLo || f > fHi {
+			continue
+		}
+		if peak == -1 || cmplx.Abs(bins[k]) > cmplx.Abs(bins[peak]) {
+			peak = k
+		}
+	}
+	if peak < 0 {
+		return 0, fmt.Errorf("dsp: no spectral bins in band [%v, %v] Hz", fLo, fHi)
+	}
+
+	// Keep the peak bin and its two neighbors on the positive-frequency
+	// side only; the resulting inverse FFT is a complex (analytic-like)
+	// signal whose instantaneous phase advances at the underlying
+	// frequency.
+	sel := make([]complex128, n)
+	for _, k := range []int{peak - 1, peak, peak + 1} {
+		if k >= 1 && k < n {
+			sel[k] = bins[k]
+		}
+	}
+	td := IFFT(sel)
+
+	// Weighted least-squares fit of the unwrapped phase over the original
+	// (un-padded) sample span, weighting by amplitude so near-zero samples
+	// (whose phase is noise) do not bias the slope.
+	span := len(x)
+	if span > n {
+		span = n
+	}
+	phases := make([]float64, span)
+	weights := make([]float64, span)
+	for i := 0; i < span; i++ {
+		phases[i] = cmplx.Phase(td[i])
+		weights[i] = cmplx.Abs(td[i])
+	}
+	unwrapped := UnwrapPhase(phases)
+	slope, ok := weightedSlope(unwrapped, weights)
+	if !ok {
+		return 0, fmt.Errorf("dsp: degenerate phase sequence in band [%v, %v] Hz", fLo, fHi)
+	}
+	freq := math.Abs(slope) * fs / (2 * math.Pi)
+	return freq, nil
+}
+
+// weightedSlope fits y[i] ≈ a + b·i with weights w and returns b.
+func weightedSlope(y, w []float64) (float64, bool) {
+	var sw, swx, swy, swxx, swxy float64
+	for i, yi := range y {
+		wi := w[i]
+		xi := float64(i)
+		sw += wi
+		swx += wi * xi
+		swy += wi * yi
+		swxx += wi * xi * xi
+		swxy += wi * xi * yi
+	}
+	denom := sw*swxx - swx*swx
+	if denom == 0 || sw == 0 {
+		return 0, false
+	}
+	return (sw*swxy - swx*swy) / denom, true
+}
+
+// QuadraticInterpolate refines a discrete peak location given the values at
+// the peak and its neighbors, returning the fractional offset in (-0.5,
+// 0.5) to add to the peak index.
+func QuadraticInterpolate(left, center, right float64) float64 {
+	denom := left - 2*center + right
+	if denom == 0 {
+		return 0
+	}
+	d := 0.5 * (left - right) / denom
+	if d > 0.5 {
+		d = 0.5
+	} else if d < -0.5 {
+		d = -0.5
+	}
+	return d
+}

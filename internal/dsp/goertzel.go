@@ -1,0 +1,53 @@
+package dsp
+
+import "math"
+
+// Goertzel evaluates the DFT of x at a single frequency f (Hz) for sample
+// rate fs using the Goertzel recurrence, returning the complex bin value.
+// It is cheaper than a full FFT when only a few frequencies are needed.
+func Goertzel(x []float64, f, fs float64) complex128 {
+	n := len(x)
+	if n == 0 {
+		return 0
+	}
+	w := 2 * math.Pi * f / fs
+	coeff := 2 * math.Cos(w)
+	var s0, s1, s2 float64
+	for _, v := range x {
+		s0 = v + coeff*s1 - s2
+		s2 = s1
+		s1 = s0
+	}
+	re := s1 - s2*math.Cos(w)
+	im := s2 * math.Sin(w)
+	return complex(re, im)
+}
+
+// GoertzelMagnitude returns |Goertzel(x, f, fs)|.
+func GoertzelMagnitude(x []float64, f, fs float64) float64 {
+	g := Goertzel(x, f, fs)
+	return math.Hypot(real(g), imag(g))
+}
+
+// GoertzelSweep evaluates the Goertzel magnitude on a uniform grid of
+// nPoints frequencies across [fLo, fHi], returning the frequencies and the
+// magnitudes.
+func GoertzelSweep(x []float64, fs, fLo, fHi float64, nPoints int) (freqs, mags []float64) {
+	if nPoints <= 0 {
+		return nil, nil
+	}
+	freqs = make([]float64, nPoints)
+	mags = make([]float64, nPoints)
+	if nPoints == 1 {
+		freqs[0] = fLo
+		mags[0] = GoertzelMagnitude(x, fLo, fs)
+		return freqs, mags
+	}
+	step := (fHi - fLo) / float64(nPoints-1)
+	for i := 0; i < nPoints; i++ {
+		f := fLo + float64(i)*step
+		freqs[i] = f
+		mags[i] = GoertzelMagnitude(x, f, fs)
+	}
+	return freqs, mags
+}

@@ -1,0 +1,234 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// hampelScale converts a median absolute deviation to an estimate of the
+// standard deviation for Gaussian data (1/Φ⁻¹(0.75)).
+const hampelScale = 1.4826
+
+// Hampel applies a Hampel filter: for each sample, the median and the
+// median absolute deviation (MAD) of a sliding window centered on the
+// sample are computed; if the sample deviates from the window median by
+// more than nsigma·1.4826·MAD it is replaced with the median.
+//
+// window is the full window length (an even value is extended by one to
+// stay centered). PhaseBeat uses Hampel(x, 2000, 0.01) to extract the slow
+// trend (the tiny threshold replaces nearly every sample with the local
+// median) and Hampel(x, 50, 0.01) as a high-frequency smoother.
+func Hampel(x []float64, window int, nsigma float64) ([]float64, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("dsp: Hampel window must be positive, got %d", window)
+	}
+	if len(x) == 0 {
+		return nil, nil
+	}
+	half := window / 2
+	out := make([]float64, len(x))
+	med := newMedianWindow(window + 1)
+
+	// Prime the window for index 0.
+	hi := half
+	if hi >= len(x) {
+		hi = len(x) - 1
+	}
+	for i := 0; i <= hi; i++ {
+		med.push(x[i])
+	}
+	for i := range x {
+		if i > 0 {
+			// Slide: add the new right edge, drop the old left edge.
+			if r := i + half; r < len(x) {
+				med.push(x[r])
+			}
+			if l := i - half - 1; l >= 0 {
+				med.remove(x[l])
+			}
+		}
+		m := med.median()
+		mad := med.mad(m)
+		sigma := hampelScale * mad
+		if math.Abs(x[i]-m) > nsigma*sigma {
+			out[i] = m
+		} else {
+			out[i] = x[i]
+		}
+	}
+	return out, nil
+}
+
+// HampelTrend returns the sliding-window median of x — the "basic trend"
+// PhaseBeat extracts with a large Hampel window before detrending.
+func HampelTrend(x []float64, window int) ([]float64, error) {
+	// A threshold of zero replaces every sample with the window median.
+	return Hampel(x, window, 0)
+}
+
+// RunningMedian returns the centered sliding-window median of x with the
+// given full window length.
+func RunningMedian(x []float64, window int) ([]float64, error) {
+	return HampelTrend(x, window)
+}
+
+// RunningMedianStrided evaluates the centered window median only at sample
+// indices 0, stride, 2·stride, … and linearly interpolates between those
+// anchor points. With stride 1 it equals RunningMedian. The evaluation at
+// each anchor sorts the window directly, so total cost is
+// O(n/stride · w log w) with no incremental state.
+func RunningMedianStrided(x []float64, window, stride int) ([]float64, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("dsp: median window must be positive, got %d", window)
+	}
+	if stride <= 0 {
+		return nil, fmt.Errorf("dsp: stride must be positive, got %d", stride)
+	}
+	if stride == 1 {
+		return RunningMedian(x, window)
+	}
+	n := len(x)
+	if n == 0 {
+		return nil, nil
+	}
+	half := window / 2
+	// Anchor medians at 0, stride, …, and always at the last index.
+	nAnchors := (n-1)/stride + 1
+	lastAnchor := (nAnchors - 1) * stride
+	if lastAnchor != n-1 {
+		nAnchors++
+	}
+	anchorIdx := make([]int, nAnchors)
+	anchorVal := make([]float64, nAnchors)
+	med := newMedianWindow(window + stride + 2)
+	winLo, winHi := 0, -1 // current window span [winLo, winHi]
+	for a := 0; a < nAnchors; a++ {
+		i := a * stride
+		if i > n-1 {
+			i = n - 1
+		}
+		newLo := i - half
+		if newLo < 0 {
+			newLo = 0
+		}
+		newHi := i + half
+		if newHi >= n {
+			newHi = n - 1
+		}
+		for winHi < newHi {
+			winHi++
+			med.push(x[winHi])
+		}
+		for winLo < newLo {
+			med.remove(x[winLo])
+			winLo++
+		}
+		anchorIdx[a] = i
+		anchorVal[a] = med.median()
+	}
+	out := make([]float64, n)
+	seg := 0
+	for i := 0; i < n; i++ {
+		for seg < nAnchors-1 && anchorIdx[seg+1] < i {
+			seg++
+		}
+		if seg == nAnchors-1 || anchorIdx[seg] == i {
+			out[i] = anchorVal[seg]
+			continue
+		}
+		i0, i1 := anchorIdx[seg], anchorIdx[seg+1]
+		frac := float64(i-i0) / float64(i1-i0)
+		out[i] = anchorVal[seg]*(1-frac) + anchorVal[seg+1]*frac
+	}
+	return out, nil
+}
+
+// medianWindow maintains a multiset of samples supporting O(w) insert,
+// remove, median and MAD queries on a sorted backing slice. For the window
+// sizes PhaseBeat uses (50 and 2000) the memmove-based operations are fast
+// in practice and require no allocation after construction.
+type medianWindow struct {
+	sorted  []float64
+	scratch []float64
+}
+
+func newMedianWindow(capacity int) *medianWindow {
+	return &medianWindow{
+		sorted:  make([]float64, 0, capacity),
+		scratch: make([]float64, 0, capacity),
+	}
+}
+
+func (w *medianWindow) push(v float64) {
+	i := lowerBound(w.sorted, v)
+	w.sorted = append(w.sorted, 0)
+	copy(w.sorted[i+1:], w.sorted[i:])
+	w.sorted[i] = v
+}
+
+func (w *medianWindow) remove(v float64) {
+	i := lowerBound(w.sorted, v)
+	if i < len(w.sorted) && w.sorted[i] == v {
+		copy(w.sorted[i:], w.sorted[i+1:])
+		w.sorted = w.sorted[:len(w.sorted)-1]
+	}
+}
+
+func (w *medianWindow) median() float64 {
+	n := len(w.sorted)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return w.sorted[n/2]
+	}
+	return (w.sorted[n/2-1] + w.sorted[n/2]) / 2
+}
+
+// mad returns the median absolute deviation of the window around m.
+func (w *medianWindow) mad(m float64) float64 {
+	n := len(w.sorted)
+	if n == 0 {
+		return 0
+	}
+	// |sorted[i]-m| is V-shaped over the sorted slice: decreasing below m,
+	// increasing above. Merge the two monotone halves to find the median of
+	// the deviations in O(n) without sorting.
+	w.scratch = w.scratch[:0]
+	lo := lowerBound(w.sorted, m) - 1 // last element < m (walk leftwards)
+	hi := lo + 1                      // first element >= m (walk rightwards)
+	for len(w.scratch) < n {
+		switch {
+		case lo < 0:
+			w.scratch = append(w.scratch, w.sorted[hi]-m)
+			hi++
+		case hi >= n:
+			w.scratch = append(w.scratch, m-w.sorted[lo])
+			lo--
+		case m-w.sorted[lo] <= w.sorted[hi]-m:
+			w.scratch = append(w.scratch, m-w.sorted[lo])
+			lo--
+		default:
+			w.scratch = append(w.scratch, w.sorted[hi]-m)
+			hi++
+		}
+	}
+	if n%2 == 1 {
+		return w.scratch[n/2]
+	}
+	return (w.scratch[n/2-1] + w.scratch[n/2]) / 2
+}
+
+// lowerBound returns the first index i with sorted[i] >= v.
+func lowerBound(sorted []float64, v float64) int {
+	lo, hi := 0, len(sorted)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if sorted[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

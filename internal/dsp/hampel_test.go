@@ -1,0 +1,199 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHampelRemovesSpike(t *testing.T) {
+	x := make([]float64, 101)
+	for i := range x {
+		x[i] = math.Sin(float64(i) / 10)
+	}
+	x[50] += 25 // gross outlier
+	out, err := Hampel(x, 11, 3)
+	if err != nil {
+		t.Fatalf("Hampel: %v", err)
+	}
+	if math.Abs(out[50]-math.Sin(5)) > 0.5 {
+		t.Errorf("spike not removed: out[50] = %v", out[50])
+	}
+	// Non-outlier samples pass through unchanged.
+	if out[10] != x[10] {
+		t.Errorf("clean sample modified: %v != %v", out[10], x[10])
+	}
+}
+
+func TestHampelKeepsCleanSignal(t *testing.T) {
+	x := make([]float64, 200)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * float64(i) / 40)
+	}
+	out, err := Hampel(x, 9, 5)
+	if err != nil {
+		t.Fatalf("Hampel: %v", err)
+	}
+	changed := 0
+	for i := range x {
+		if out[i] != x[i] {
+			changed++
+		}
+	}
+	if changed > len(x)/10 {
+		t.Errorf("Hampel modified %d/%d clean samples", changed, len(x))
+	}
+}
+
+func TestHampelInvalidWindow(t *testing.T) {
+	if _, err := Hampel([]float64{1}, 0, 3); err == nil {
+		t.Error("want error for zero window")
+	}
+}
+
+func TestHampelEmpty(t *testing.T) {
+	out, err := Hampel(nil, 5, 3)
+	if err != nil || out != nil {
+		t.Errorf("Hampel(nil) = %v, %v", out, err)
+	}
+}
+
+func TestHampelTrendIsRunningMedian(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := make([]float64, 120)
+	for i := range x {
+		x[i] = rng.NormFloat64() + float64(i)*0.05
+	}
+	window := 15
+	trend, err := HampelTrend(x, window)
+	if err != nil {
+		t.Fatalf("HampelTrend: %v", err)
+	}
+	// Compare against a brute-force centered median.
+	half := window / 2
+	for i := range x {
+		lo := i - half
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + half
+		if hi >= len(x) {
+			hi = len(x) - 1
+		}
+		want := bruteMedian(x[lo : hi+1])
+		if math.Abs(trend[i]-want) > 1e-12 {
+			t.Fatalf("trend[%d] = %v, want %v", i, trend[i], want)
+		}
+	}
+}
+
+func bruteMedian(x []float64) float64 {
+	tmp := make([]float64, len(x))
+	copy(tmp, x)
+	sort.Float64s(tmp)
+	n := len(tmp)
+	if n%2 == 1 {
+		return tmp[n/2]
+	}
+	return (tmp[n/2-1] + tmp[n/2]) / 2
+}
+
+// Property: Hampel output samples always lie within the min/max of the
+// input window around them (it only passes values through or replaces them
+// with a window median).
+func TestHampelBoundsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(200)
+		window := 1 + r.Intn(30)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64() * 10
+		}
+		out, err := Hampel(x, window, r.Float64()*4)
+		if err != nil {
+			return false
+		}
+		half := window / 2
+		for i := range out {
+			lo := i - half
+			if lo < 0 {
+				lo = 0
+			}
+			hi := i + half
+			if hi >= n {
+				hi = n - 1
+			}
+			mn, mx := MinMax(x[lo : hi+1])
+			if out[i] < mn-1e-12 || out[i] > mx+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with a huge threshold Hampel is the identity.
+func TestHampelIdentityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(100)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		out, err := Hampel(x, 9, 1e9)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if out[i] != x[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMedianWindowMAD(t *testing.T) {
+	w := newMedianWindow(8)
+	for _, v := range []float64{1, 2, 3, 4, 100} {
+		w.push(v)
+	}
+	m := w.median()
+	if m != 3 {
+		t.Fatalf("median = %v, want 3", m)
+	}
+	// Deviations from 3: [2 1 0 1 97] → sorted [0 1 1 2 97] → median 1.
+	if got := w.mad(m); got != 1 {
+		t.Errorf("mad = %v, want 1", got)
+	}
+	w.remove(100)
+	if got := w.median(); got != 2.5 {
+		t.Errorf("median after remove = %v, want 2.5", got)
+	}
+}
+
+func BenchmarkHampelLargeWindow(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	x := make([]float64, 10000)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Hampel(x, 2000, 0.01); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

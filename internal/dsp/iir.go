@@ -1,0 +1,161 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Biquad is a second-order IIR section in direct form II transposed:
+//
+//	y[n] = b0·x[n] + b1·x[n-1] + b2·x[n-2] − a1·y[n-1] − a2·y[n-2]
+type Biquad struct {
+	B0, B1, B2 float64
+	A1, A2     float64
+}
+
+// Apply filters x causally and returns a new slice.
+func (q *Biquad) Apply(x []float64) []float64 {
+	out := make([]float64, len(x))
+	var z1, z2 float64
+	for i, v := range x {
+		y := q.B0*v + z1
+		z1 = q.B1*v - q.A1*y + z2
+		z2 = q.B2*v - q.A2*y
+		out[i] = y
+	}
+	return out
+}
+
+// IIRFilter is a cascade of biquad sections.
+type IIRFilter struct {
+	Sections []Biquad
+}
+
+// Apply runs the cascade causally.
+func (f *IIRFilter) Apply(x []float64) []float64 {
+	out := x
+	for i := range f.Sections {
+		out = f.Sections[i].Apply(out)
+	}
+	return out
+}
+
+// ApplyZeroPhase runs the cascade forward and backward (filtfilt),
+// cancelling the phase response at the cost of squaring the magnitude
+// response.
+func (f *IIRFilter) ApplyZeroPhase(x []float64) []float64 {
+	fwd := f.Apply(x)
+	rev := make([]float64, len(fwd))
+	for i, v := range fwd {
+		rev[len(fwd)-1-i] = v
+	}
+	back := f.Apply(rev)
+	out := make([]float64, len(back))
+	for i, v := range back {
+		out[len(back)-1-i] = v
+	}
+	return out
+}
+
+// ButterworthLowPass designs an order-n (n even) Butterworth low-pass as
+// cascaded biquads using the bilinear transform.
+func ButterworthLowPass(cutoff, fs float64, order int) (*IIRFilter, error) {
+	if err := validateIIRArgs(cutoff, fs, order); err != nil {
+		return nil, err
+	}
+	// Pre-warped analog cutoff.
+	warped := math.Tan(math.Pi * cutoff / fs)
+	sections := make([]Biquad, 0, order/2)
+	for k := 0; k < order/2; k++ {
+		// Analog pole pair angle for the Butterworth circle.
+		theta := math.Pi * (2*float64(k) + 1) / (2 * float64(order))
+		q := 1 / (2 * math.Sin(theta))
+		// Bilinear transform of H(s) = 1/(s² + s/q + 1) scaled by warped.
+		w := warped
+		norm := 1 / (1 + w/q + w*w)
+		sections = append(sections, Biquad{
+			B0: w * w * norm,
+			B1: 2 * w * w * norm,
+			B2: w * w * norm,
+			A1: 2 * (w*w - 1) * norm,
+			A2: (1 - w/q + w*w) * norm,
+		})
+	}
+	return &IIRFilter{Sections: sections}, nil
+}
+
+// ButterworthHighPass designs an order-n (n even) Butterworth high-pass.
+func ButterworthHighPass(cutoff, fs float64, order int) (*IIRFilter, error) {
+	if err := validateIIRArgs(cutoff, fs, order); err != nil {
+		return nil, err
+	}
+	warped := math.Tan(math.Pi * cutoff / fs)
+	sections := make([]Biquad, 0, order/2)
+	for k := 0; k < order/2; k++ {
+		theta := math.Pi * (2*float64(k) + 1) / (2 * float64(order))
+		q := 1 / (2 * math.Sin(theta))
+		w := warped
+		norm := 1 / (1 + w/q + w*w)
+		sections = append(sections, Biquad{
+			B0: 1 * norm,
+			B1: -2 * norm,
+			B2: 1 * norm,
+			A1: 2 * (w*w - 1) * norm,
+			A2: (1 - w/q + w*w) * norm,
+		})
+	}
+	return &IIRFilter{Sections: sections}, nil
+}
+
+// ButterworthBandPass cascades a high-pass at fLo with a low-pass at fHi.
+func ButterworthBandPass(fLo, fHi, fs float64, order int) (*IIRFilter, error) {
+	if fLo >= fHi {
+		return nil, fmt.Errorf("dsp: band edges inverted: [%v, %v]", fLo, fHi)
+	}
+	hp, err := ButterworthHighPass(fLo, fs, order)
+	if err != nil {
+		return nil, err
+	}
+	lp, err := ButterworthLowPass(fHi, fs, order)
+	if err != nil {
+		return nil, err
+	}
+	sections := make([]Biquad, 0, len(hp.Sections)+len(lp.Sections))
+	sections = append(sections, hp.Sections...)
+	sections = append(sections, lp.Sections...)
+	return &IIRFilter{Sections: sections}, nil
+}
+
+// FrequencyResponse evaluates the cascade's magnitude response at freq Hz.
+func (f *IIRFilter) FrequencyResponse(freq, fs float64) float64 {
+	w := 2 * math.Pi * freq / fs
+	z1re, z1im := math.Cos(-w), math.Sin(-w)
+	z2re, z2im := math.Cos(-2*w), math.Sin(-2*w)
+	mag := 1.0
+	for _, s := range f.Sections {
+		numRe := s.B0 + s.B1*z1re + s.B2*z2re
+		numIm := s.B1*z1im + s.B2*z2im
+		denRe := 1 + s.A1*z1re + s.A2*z2re
+		denIm := s.A1*z1im + s.A2*z2im
+		num := math.Hypot(numRe, numIm)
+		den := math.Hypot(denRe, denIm)
+		if den == 0 {
+			return math.Inf(1)
+		}
+		mag *= num / den
+	}
+	return mag
+}
+
+func validateIIRArgs(cutoff, fs float64, order int) error {
+	if fs <= 0 {
+		return fmt.Errorf("dsp: sample rate must be positive, got %v", fs)
+	}
+	if cutoff <= 0 || cutoff >= fs/2 {
+		return fmt.Errorf("dsp: cutoff %v Hz outside (0, fs/2=%v)", cutoff, fs/2)
+	}
+	if order < 2 || order%2 != 0 {
+		return fmt.Errorf("dsp: order must be even and >= 2, got %d", order)
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package dsp
+
+import (
+	"fmt"
+	"math/cmplx"
+)
+
+// Spectrogram is a short-time Fourier transform magnitude matrix.
+type Spectrogram struct {
+	// Mag is indexed [frame][bin]: the one-sided magnitude per frame.
+	Mag [][]float64
+	// Times holds the center time (s) of each frame.
+	Times []float64
+	// Freqs holds the frequency (Hz) of each bin.
+	Freqs []float64
+}
+
+// STFT computes a magnitude spectrogram of x sampled at fs, with the given
+// window length and hop (both in samples) and a Hann window. The paper's
+// Section III-B4 contrasts the DWT against the STFT; this implementation
+// backs that comparison and general time-frequency visualization.
+func STFT(x []float64, fs float64, windowLen, hop int) (*Spectrogram, error) {
+	if windowLen < 4 {
+		return nil, fmt.Errorf("dsp: STFT window %d < 4", windowLen)
+	}
+	if hop < 1 {
+		return nil, fmt.Errorf("dsp: STFT hop %d < 1", hop)
+	}
+	if fs <= 0 {
+		return nil, fmt.Errorf("dsp: sample rate must be positive, got %v", fs)
+	}
+	if len(x) < windowLen {
+		return nil, fmt.Errorf("%w: %d samples < window %d", ErrEmptyInput, len(x), windowLen)
+	}
+	win := Hann(windowLen)
+	nFrames := (len(x)-windowLen)/hop + 1
+	nfft := NextPowerOfTwo(windowLen)
+	half := nfft/2 + 1
+
+	sp := &Spectrogram{
+		Mag:   make([][]float64, 0, nFrames),
+		Times: make([]float64, 0, nFrames),
+		Freqs: make([]float64, half),
+	}
+	for k := 0; k < half; k++ {
+		sp.Freqs[k] = BinFrequency(k, nfft, fs)
+	}
+	buf := make([]complex128, nfft)
+	for f := 0; f < nFrames; f++ {
+		start := f * hop
+		for i := range buf {
+			buf[i] = 0
+		}
+		frame := x[start : start+windowLen]
+		mean := Mean(frame)
+		for i, v := range frame {
+			buf[i] = complex((v-mean)*win[i], 0)
+		}
+		bins := FFT(buf)
+		mag := make([]float64, half)
+		for k := 0; k < half; k++ {
+			mag[k] = cmplx.Abs(bins[k])
+		}
+		sp.Mag = append(sp.Mag, mag)
+		sp.Times = append(sp.Times, (float64(start)+float64(windowLen)/2)/fs)
+	}
+	return sp, nil
+}
+
+// RidgeFrequencies returns the strongest frequency within [fLo, fHi] for
+// each frame — a crude instantaneous-rate track.
+func (s *Spectrogram) RidgeFrequencies(fLo, fHi float64) []float64 {
+	out := make([]float64, len(s.Mag))
+	for f, mag := range s.Mag {
+		best := -1
+		for k, freq := range s.Freqs {
+			if freq < fLo || freq > fHi {
+				continue
+			}
+			if best == -1 || mag[k] > mag[best] {
+				best = k
+			}
+		}
+		if best >= 0 {
+			out[f] = s.Freqs[best]
+		}
+	}
+	return out
+}

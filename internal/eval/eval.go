@@ -1,0 +1,260 @@
+// Package eval reproduces the PhaseBeat paper's evaluation: one driver per
+// figure (the paper has no numbered tables), shared error/accuracy
+// metrics, a parallel trial runner, and plain-text table rendering. The
+// cmd/experiments binary and the repository-root benchmarks are thin
+// wrappers over this package.
+package eval
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrNoTrials reports that every trial of an experiment failed.
+var ErrNoTrials = errors.New("eval: no successful trials")
+
+// Table is a rendered experiment result.
+type Table struct {
+	// Title names the experiment (e.g. "Fig. 11 — breathing error CDF").
+	Title string
+	// Header labels the columns.
+	Header []string
+	// Rows holds the cell values.
+	Rows [][]string
+}
+
+// Render formats the table with aligned columns.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	b.WriteString(t.Title)
+	b.WriteByte('\n')
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Report is a complete experiment outcome.
+type Report struct {
+	// Name is the registry key (e.g. "fig11").
+	Name string
+	// Paper summarizes what the paper reports for this experiment.
+	Paper string
+	// Table holds the measured numbers.
+	Table Table
+	// Plot optionally holds an ASCII chart rendered under the table.
+	Plot string
+	// Notes carries caveats (failed trials, substitutions).
+	Notes []string
+}
+
+// String renders the report.
+func (r *Report) String() string {
+	var b strings.Builder
+	b.WriteString(r.Table.Render())
+	if r.Plot != "" {
+		b.WriteString(r.Plot)
+	}
+	if r.Paper != "" {
+		fmt.Fprintf(&b, "paper: %s\n", r.Paper)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Options control experiment size and determinism.
+type Options struct {
+	// Trials is the number of randomized trials for statistical
+	// experiments (CDFs, sweeps). Zero selects each experiment's default.
+	Trials int
+	// DurationS is the per-trial capture length in seconds (0 → 60).
+	DurationS float64
+	// Seed offsets every trial seed for reproducibility.
+	Seed int64
+	// Parallelism bounds worker goroutines (0 → GOMAXPROCS).
+	Parallelism int
+}
+
+// withDefaults fills zero fields.
+func (o Options) withDefaults(defaultTrials int) Options {
+	if o.Trials <= 0 {
+		o.Trials = defaultTrials
+	}
+	if o.DurationS <= 0 {
+		o.DurationS = 60
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// runTrials executes fn for trial indices 0..n-1 across a worker pool and
+// returns the per-trial outputs (nil entries for failed trials) plus the
+// failure count.
+func runTrials[T any](n, parallelism int, fn func(trial int) (*T, error)) ([]*T, int) {
+	out := make([]*T, n)
+	var failed int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, parallelism)
+	for trial := 0; trial < n; trial++ {
+		wg.Add(1)
+		go func(trial int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res, err := fn(trial)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				failed++
+				return
+			}
+			out[trial] = res
+		}(trial)
+	}
+	wg.Wait()
+	return out, failed
+}
+
+// CDF summarizes an error distribution.
+type CDF struct {
+	// Sorted holds the absolute errors in ascending order.
+	Sorted []float64
+}
+
+// NewCDF builds a CDF from unordered absolute errors.
+func NewCDF(errs []float64) CDF {
+	sorted := make([]float64, len(errs))
+	copy(sorted, errs)
+	sort.Float64s(sorted)
+	return CDF{Sorted: sorted}
+}
+
+// Percentile returns the error value at cumulative probability p (0-100).
+func (c CDF) Percentile(p float64) float64 {
+	n := len(c.Sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return c.Sorted[0]
+	}
+	if p >= 100 {
+		return c.Sorted[n-1]
+	}
+	pos := p / 100 * float64(n-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= n {
+		return c.Sorted[n-1]
+	}
+	return c.Sorted[lo]*(1-frac) + c.Sorted[lo+1]*frac
+}
+
+// FractionBelow returns the fraction of errors <= x.
+func (c CDF) FractionBelow(x float64) float64 {
+	if len(c.Sorted) == 0 {
+		return math.NaN()
+	}
+	idx := sort.SearchFloat64s(c.Sorted, x+1e-12)
+	return float64(idx) / float64(len(c.Sorted))
+}
+
+// Median returns the 50th percentile.
+func (c CDF) Median() float64 { return c.Percentile(50) }
+
+// Max returns the largest error.
+func (c CDF) Max() float64 {
+	if len(c.Sorted) == 0 {
+		return math.NaN()
+	}
+	return c.Sorted[len(c.Sorted)-1]
+}
+
+// Mean returns the mean absolute error.
+func (c CDF) Mean() float64 {
+	if len(c.Sorted) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, v := range c.Sorted {
+		s += v
+	}
+	return s / float64(len(c.Sorted))
+}
+
+// Accuracy is the paper's Fig. 13/14 metric: 1 − |est−truth|/truth,
+// clamped at zero.
+func Accuracy(estimate, truth float64) float64 {
+	if truth == 0 {
+		return 0
+	}
+	a := 1 - math.Abs(estimate-truth)/truth
+	if a < 0 {
+		return 0
+	}
+	return a
+}
+
+// MatchedAccuracy pairs sorted estimates with sorted truths and averages
+// the per-pair accuracy — the multi-person scoring for Fig. 14.
+func MatchedAccuracy(estimates, truths []float64) float64 {
+	if len(truths) == 0 {
+		return 0
+	}
+	est := make([]float64, len(estimates))
+	copy(est, estimates)
+	tru := make([]float64, len(truths))
+	copy(tru, truths)
+	sort.Float64s(est)
+	sort.Float64s(tru)
+	var sum float64
+	for i, t := range tru {
+		if i < len(est) {
+			sum += Accuracy(est[i], t)
+		}
+	}
+	return sum / float64(len(tru))
+}
+
+// f formats a float for table cells.
+func f(v float64, digits int) string {
+	return fmt.Sprintf("%.*f", digits, v)
+}

@@ -1,0 +1,123 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// AsciiPlot renders an XY series as a fixed-size ASCII chart for terminal
+// reports — enough to see a CDF's shape or a distance trend without
+// leaving the shell.
+type AsciiPlot struct {
+	// Width and Height are the plot area dimensions in characters.
+	Width, Height int
+	// XLabel and YLabel annotate the axes.
+	XLabel, YLabel string
+}
+
+// DefaultPlot returns a terminal-friendly size.
+func DefaultPlot(xLabel, yLabel string) AsciiPlot {
+	return AsciiPlot{Width: 60, Height: 12, XLabel: xLabel, YLabel: yLabel}
+}
+
+// Render draws one or more named series. Each series is a list of (x, y)
+// points; series are distinguished by the marker characters '*', 'o', '+',
+// 'x' in order.
+func (p AsciiPlot) Render(series map[string][][2]float64) string {
+	if p.Width < 8 {
+		p.Width = 8
+	}
+	if p.Height < 4 {
+		p.Height = 4
+	}
+	names := sortedKeys(series)
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, name := range names {
+		for _, pt := range series[name] {
+			minX = math.Min(minX, pt[0])
+			maxX = math.Max(maxX, pt[0])
+			minY = math.Min(minY, pt[1])
+			maxY = math.Max(maxY, pt[1])
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return "(no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, p.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", p.Width))
+	}
+	markers := []byte{'*', 'o', '+', 'x'}
+	for si, name := range names {
+		m := markers[si%len(markers)]
+		for _, pt := range series[name] {
+			col := int((pt[0] - minX) / (maxX - minX) * float64(p.Width-1))
+			row := p.Height - 1 - int((pt[1]-minY)/(maxY-minY)*float64(p.Height-1))
+			if row >= 0 && row < p.Height && col >= 0 && col < p.Width {
+				grid[row][col] = m
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (max %.3g)\n", p.YLabel, maxY)
+	for _, row := range grid {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("+")
+	b.WriteString(strings.Repeat("-", p.Width))
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, " %-.3g%s%.3g  (%s)\n", minX,
+		strings.Repeat(" ", maxInt(1, p.Width-14)), maxX, p.XLabel)
+	for si, name := range names {
+		fmt.Fprintf(&b, " %c = %s\n", markers[si%len(markers)], name)
+	}
+	return b.String()
+}
+
+// RenderCDFs is a convenience: plot error CDFs as cumulative-probability
+// curves.
+func (p AsciiPlot) RenderCDFs(cdfs map[string]CDF) string {
+	series := make(map[string][][2]float64, len(cdfs))
+	for name, c := range cdfs {
+		pts := make([][2]float64, 0, len(c.Sorted))
+		n := len(c.Sorted)
+		for i, v := range c.Sorted {
+			pts = append(pts, [2]float64{v, float64(i+1) / float64(n)})
+		}
+		series[name] = pts
+	}
+	return p.Render(series)
+}
+
+func sortedKeys(m map[string][][2]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	// Insertion sort keeps this dependency-free and the maps tiny.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

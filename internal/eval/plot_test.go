@@ -1,0 +1,60 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAsciiPlotRendersSeries(t *testing.T) {
+	p := DefaultPlot("x", "y")
+	out := p.Render(map[string][][2]float64{
+		"up":   {{0, 0}, {1, 1}, {2, 2}},
+		"down": {{0, 2}, {1, 1}, {2, 0}},
+	})
+	if !strings.Contains(out, "* = down") || !strings.Contains(out, "o = up") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "(x)") || !strings.Contains(out, "y (max") {
+		t.Errorf("axis labels missing:\n%s", out)
+	}
+	// Plot area contains both markers.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("markers missing:\n%s", out)
+	}
+}
+
+func TestAsciiPlotEmpty(t *testing.T) {
+	p := DefaultPlot("x", "y")
+	if got := p.Render(nil); got != "(no data)\n" {
+		t.Errorf("empty render = %q", got)
+	}
+}
+
+func TestAsciiPlotDegenerateRange(t *testing.T) {
+	p := AsciiPlot{Width: 2, Height: 2, XLabel: "x", YLabel: "y"}
+	out := p.Render(map[string][][2]float64{"pt": {{1, 1}}})
+	if !strings.Contains(out, "*") {
+		t.Errorf("single point missing:\n%s", out)
+	}
+}
+
+func TestRenderCDFs(t *testing.T) {
+	p := DefaultPlot("error (bpm)", "P")
+	out := p.RenderCDFs(map[string]CDF{
+		"a": NewCDF([]float64{0.1, 0.2, 0.3, 0.4}),
+		"b": NewCDF([]float64{0.2, 0.4, 0.8, 1.6}),
+	})
+	if !strings.Contains(out, "* = a") || !strings.Contains(out, "o = b") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	got := sortedKeys(map[string][][2]float64{"c": nil, "a": nil, "b": nil})
+	want := []string{"a", "b", "c"}
+	for i, w := range want {
+		if got[i] != w {
+			t.Errorf("key[%d] = %q, want %q", i, got[i], w)
+		}
+	}
+}

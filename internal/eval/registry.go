@@ -1,0 +1,52 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Experiment is a named figure reproduction.
+type Experiment struct {
+	// Name is the registry key ("fig11").
+	Name string
+	// Description summarizes what it reproduces.
+	Description string
+	// Run executes the experiment.
+	Run func(Options) (*Report, error)
+}
+
+// Experiments returns the registry of all figure reproductions in
+// ascending figure order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"fig01", "phase stability: raw phase vs phase difference", Fig01PhaseStability},
+		{"fig03", "environment detection across activities", Fig03Environment},
+		{"fig04", "data calibration before/after", Fig04Calibration},
+		{"fig05", "calibrated per-subcarrier patterns", Fig05SubcarrierPatterns},
+		{"fig06", "discrete wavelet transform bands", Fig06DWT},
+		{"fig07", "subcarrier selection by MAD", Fig07SubcarrierSelection},
+		{"fig08", "multi-person FFT vs root-MUSIC showcase", Fig08MultiPersonFFT},
+		{"fig09", "heart-rate estimation showcase", Fig09HeartFFT},
+		{"fig11", "breathing error CDF vs amplitude method", Fig11BreathingCDF},
+		{"fig12", "heart error CDF", Fig12HeartCDF},
+		{"fig13", "accuracy vs sampling frequency", Fig13SamplingSweep},
+		{"fig14", "multi-person accuracy by method", Fig14MultiPersonAccuracy},
+		{"fig15", "corridor: error vs distance", Fig15CorridorDistance},
+		{"fig16", "through-wall: error vs distance", Fig16ThroughWallDistance},
+	}
+}
+
+// Lookup finds an experiment by name.
+func Lookup(name string) (Experiment, error) {
+	for _, e := range Experiments() {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	names := make([]string, 0, len(Experiments()))
+	for _, e := range Experiments() {
+		names = append(names, e.Name)
+	}
+	sort.Strings(names)
+	return Experiment{}, fmt.Errorf("eval: unknown experiment %q (have %v)", name, names)
+}

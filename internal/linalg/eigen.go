@@ -1,0 +1,123 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EigenSym holds the eigendecomposition of a real symmetric matrix:
+// A = V diag(Values) Vᵀ with orthonormal columns in Vectors.
+// Values are sorted in descending order and Vectors.Col(i) is the
+// eigenvector for Values[i].
+type EigenSym struct {
+	Values  []float64
+	Vectors *Matrix
+}
+
+// jacobiMaxSweeps bounds the number of full Jacobi sweeps. Convergence for
+// well-conditioned correlation matrices takes <15 sweeps; 100 is a generous
+// safety margin before reporting failure.
+const jacobiMaxSweeps = 100
+
+// EigSym computes the eigendecomposition of a real symmetric matrix using
+// the cyclic Jacobi rotation method. The input must be square and symmetric
+// (within a loose tolerance scaled by its norm).
+func EigSym(a *Matrix) (*EigenSym, error) {
+	n := a.Rows()
+	if n != a.Cols() {
+		return nil, fmt.Errorf("%w: eig of %dx%d", ErrDimensionMismatch, a.Rows(), a.Cols())
+	}
+	symTol := 1e-8 * (1 + a.FrobeniusNorm())
+	if !a.IsSymmetric(symTol) {
+		return nil, fmt.Errorf("linalg: EigSym requires a symmetric matrix")
+	}
+
+	// Work on a copy; accumulate rotations into v.
+	w := a.Clone()
+	v := Identity(n)
+
+	offDiag := func() float64 {
+		var s float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				s += w.At(i, j) * w.At(i, j)
+			}
+		}
+		return math.Sqrt(2 * s)
+	}
+
+	normA := a.FrobeniusNorm()
+	tol := 1e-14 * (1 + normA)
+
+	for sweep := 0; sweep < jacobiMaxSweeps; sweep++ {
+		if offDiag() <= tol {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) <= tol/float64(n*n) {
+					continue
+				}
+				app := w.At(p, p)
+				aqq := w.At(q, q)
+				// Stable computation of the rotation angle.
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+
+				// Apply rotation J(p,q,θ): W ← Jᵀ W J.
+				for k := 0; k < n; k++ {
+					wkp := w.At(k, p)
+					wkq := w.At(k, q)
+					w.Set(k, p, c*wkp-s*wkq)
+					w.Set(k, q, s*wkp+c*wkq)
+				}
+				for k := 0; k < n; k++ {
+					wpk := w.At(p, k)
+					wqk := w.At(q, k)
+					w.Set(p, k, c*wpk-s*wqk)
+					w.Set(q, k, s*wpk+c*wqk)
+				}
+				// Accumulate eigenvectors: V ← V J.
+				for k := 0; k < n; k++ {
+					vkp := v.At(k, p)
+					vkq := v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+	if offDiag() > 1e-6*(1+normA) {
+		return nil, fmt.Errorf("linalg: Jacobi eigensolver did not converge after %d sweeps", jacobiMaxSweeps)
+	}
+
+	// Extract eigenvalues and sort descending, permuting eigenvectors.
+	type pair struct {
+		val float64
+		idx int
+	}
+	pairs := make([]pair, n)
+	for i := 0; i < n; i++ {
+		pairs[i] = pair{val: w.At(i, i), idx: i}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].val > pairs[j].val })
+
+	values := make([]float64, n)
+	vectors := NewMatrix(n, n)
+	for newIdx, p := range pairs {
+		values[newIdx] = p.val
+		for k := 0; k < n; k++ {
+			vectors.Set(k, newIdx, v.At(k, p.idx))
+		}
+	}
+	return &EigenSym{Values: values, Vectors: vectors}, nil
+}

@@ -1,0 +1,224 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// ErrNoConvergence reports that an iterative solver exhausted its iteration
+// budget before meeting its tolerance.
+var ErrNoConvergence = errors.New("linalg: iteration did not converge")
+
+// Poly is a complex polynomial stored with coefficients in ascending-power
+// order: Coeffs[k] multiplies z^k.
+type Poly struct {
+	Coeffs []complex128
+}
+
+// NewPoly builds a polynomial from ascending-power coefficients. Trailing
+// (highest-power) zero coefficients are trimmed.
+func NewPoly(coeffs []complex128) Poly {
+	end := len(coeffs)
+	for end > 1 && coeffs[end-1] == 0 {
+		end--
+	}
+	out := make([]complex128, end)
+	copy(out, coeffs[:end])
+	return Poly{Coeffs: out}
+}
+
+// NewPolyReal builds a complex polynomial from real ascending-power
+// coefficients.
+func NewPolyReal(coeffs []float64) Poly {
+	c := make([]complex128, len(coeffs))
+	for i, v := range coeffs {
+		c[i] = complex(v, 0)
+	}
+	return NewPoly(c)
+}
+
+// Degree returns the polynomial degree (0 for constants).
+func (p Poly) Degree() int { return len(p.Coeffs) - 1 }
+
+// Eval evaluates p at z using Horner's scheme.
+func (p Poly) Eval(z complex128) complex128 {
+	var acc complex128
+	for i := len(p.Coeffs) - 1; i >= 0; i-- {
+		acc = acc*z + p.Coeffs[i]
+	}
+	return acc
+}
+
+// Derivative returns p'.
+func (p Poly) Derivative() Poly {
+	if len(p.Coeffs) <= 1 {
+		return Poly{Coeffs: []complex128{0}}
+	}
+	d := make([]complex128, len(p.Coeffs)-1)
+	for i := 1; i < len(p.Coeffs); i++ {
+		d[i-1] = p.Coeffs[i] * complex(float64(i), 0)
+	}
+	return Poly{Coeffs: d}
+}
+
+// aberthMaxIters bounds the Aberth-Ehrlich simultaneous iteration. Typical
+// MUSIC noise polynomials of degree ~60 converge in <50 iterations.
+const aberthMaxIters = 500
+
+// Roots finds all complex roots of p using the Aberth-Ehrlich simultaneous
+// iteration with a Durand-Kerner style initialization, followed by a Newton
+// polish of each root. It works well for the conjugate-reciprocal root sets
+// produced by root-MUSIC noise polynomials.
+func (p Poly) Roots() ([]complex128, error) {
+	n := p.Degree()
+	switch {
+	case n < 0:
+		return nil, errors.New("linalg: roots of empty polynomial")
+	case n == 0:
+		return nil, nil
+	case n == 1:
+		return []complex128{-p.Coeffs[0] / p.Coeffs[1]}, nil
+	case n == 2:
+		return quadRoots(p.Coeffs[0], p.Coeffs[1], p.Coeffs[2]), nil
+	}
+
+	// Normalize to a monic polynomial for numerical stability.
+	lead := p.Coeffs[n]
+	if lead == 0 {
+		return nil, errors.New("linalg: zero leading coefficient")
+	}
+	monic := make([]complex128, n+1)
+	for i, c := range p.Coeffs {
+		monic[i] = c / lead
+	}
+	mp := Poly{Coeffs: monic}
+	dp := mp.Derivative()
+
+	// Initial guesses on a circle whose radius follows the Cauchy bound,
+	// with a slight spiral so no two guesses coincide and the configuration
+	// is not symmetric about the real axis (which can stall real-coefficient
+	// iterations).
+	radius := 0.0
+	for i := 0; i < n; i++ {
+		radius = math.Max(radius, cmplx.Abs(monic[i]))
+	}
+	radius = 1 + radius
+	roots := make([]complex128, n)
+	for i := range roots {
+		angle := 2*math.Pi*float64(i)/float64(n) + 0.35
+		r := radius * (0.5 + 0.5*float64(i+1)/float64(n))
+		roots[i] = cmplx.Rect(r, angle)
+	}
+
+	const tol = 1e-13
+	converged := false
+	for iter := 0; iter < aberthMaxIters; iter++ {
+		maxStep := 0.0
+		for i := range roots {
+			z := roots[i]
+			pv := mp.Eval(z)
+			dv := dp.Eval(z)
+			if pv == 0 {
+				continue
+			}
+			var ratio complex128
+			if dv != 0 {
+				ratio = pv / dv
+			} else {
+				ratio = pv // fallback; the Aberth sum below will still perturb
+			}
+			var sum complex128
+			for j := range roots {
+				if j == i {
+					continue
+				}
+				diff := z - roots[j]
+				if diff == 0 {
+					diff = complex(1e-12, 1e-12)
+				}
+				sum += 1 / diff
+			}
+			denom := 1 - ratio*sum
+			var step complex128
+			if denom != 0 {
+				step = ratio / denom
+			} else {
+				step = ratio
+			}
+			roots[i] = z - step
+			if s := cmplx.Abs(step); s > maxStep {
+				maxStep = s
+			}
+		}
+		if maxStep < tol*(1+radius) {
+			converged = true
+			break
+		}
+	}
+	if !converged {
+		// Polishing below may still rescue near-converged roots; verify
+		// residuals afterwards rather than failing outright.
+		converged = true
+		for _, z := range roots {
+			if cmplx.Abs(mp.Eval(z)) > 1e-6*(1+cmplx.Abs(z)) {
+				converged = false
+				break
+			}
+		}
+		if !converged {
+			return nil, fmt.Errorf("%w: Aberth after %d iterations", ErrNoConvergence, aberthMaxIters)
+		}
+	}
+
+	// Newton polish each root for a few steps.
+	for i := range roots {
+		z := roots[i]
+		for k := 0; k < 8; k++ {
+			pv := mp.Eval(z)
+			dv := dp.Eval(z)
+			if dv == 0 || cmplx.Abs(pv) < 1e-15 {
+				break
+			}
+			z -= pv / dv
+		}
+		roots[i] = z
+	}
+	return roots, nil
+}
+
+// quadRoots solves c2 z² + c1 z + c0 = 0 with a numerically stable formula.
+func quadRoots(c0, c1, c2 complex128) []complex128 {
+	disc := cmplx.Sqrt(c1*c1 - 4*c2*c0)
+	// Choose the sign that avoids catastrophic cancellation.
+	var q complex128
+	if real(c1)*real(disc)+imag(c1)*imag(disc) >= 0 {
+		q = -(c1 + disc) / 2
+	} else {
+		q = -(c1 - disc) / 2
+	}
+	r1 := q / c2
+	var r2 complex128
+	if q != 0 {
+		r2 = c0 / q
+	} else {
+		r2 = 0
+	}
+	return []complex128{r1, r2}
+}
+
+// FromRoots builds the monic polynomial with the given roots.
+func FromRoots(roots []complex128) Poly {
+	coeffs := make([]complex128, 1, len(roots)+1)
+	coeffs[0] = 1
+	for _, r := range roots {
+		next := make([]complex128, len(coeffs)+1)
+		for i, c := range coeffs {
+			next[i] -= c * r
+			next[i+1] += c
+		}
+		coeffs = next
+	}
+	return Poly{Coeffs: coeffs}
+}

@@ -1,0 +1,231 @@
+package linalg
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPolyEval(t *testing.T) {
+	// p(z) = 1 + 2z + 3z².
+	p := NewPolyReal([]float64{1, 2, 3})
+	got := p.Eval(2)
+	if got != complex(17, 0) {
+		t.Errorf("Eval(2) = %v, want 17", got)
+	}
+}
+
+func TestPolyDerivative(t *testing.T) {
+	p := NewPolyReal([]float64{5, 4, 3, 2}) // 5+4z+3z²+2z³
+	d := p.Derivative()
+	want := []complex128{4, 6, 6} // 4+6z+6z²
+	if len(d.Coeffs) != len(want) {
+		t.Fatalf("derivative length = %d, want %d", len(d.Coeffs), len(want))
+	}
+	for i, w := range want {
+		if d.Coeffs[i] != w {
+			t.Errorf("d[%d] = %v, want %v", i, d.Coeffs[i], w)
+		}
+	}
+	c := NewPolyReal([]float64{7})
+	if dc := c.Derivative(); dc.Eval(3) != 0 {
+		t.Error("derivative of constant should be zero")
+	}
+}
+
+func TestNewPolyTrimsLeadingZeros(t *testing.T) {
+	p := NewPoly([]complex128{1, 2, 0, 0})
+	if p.Degree() != 1 {
+		t.Errorf("degree = %d, want 1", p.Degree())
+	}
+}
+
+func TestRootsLinearQuadratic(t *testing.T) {
+	lin := NewPolyReal([]float64{-6, 2}) // 2z-6=0 → z=3
+	r, err := lin.Roots()
+	if err != nil {
+		t.Fatalf("Roots: %v", err)
+	}
+	if len(r) != 1 || cmplx.Abs(r[0]-3) > 1e-12 {
+		t.Errorf("linear roots = %v, want [3]", r)
+	}
+
+	quad := NewPolyReal([]float64{2, -3, 1}) // (z-1)(z-2)
+	r, err = quad.Roots()
+	if err != nil {
+		t.Fatalf("Roots: %v", err)
+	}
+	sortComplexByReal(r)
+	if cmplx.Abs(r[0]-1) > 1e-12 || cmplx.Abs(r[1]-2) > 1e-12 {
+		t.Errorf("quadratic roots = %v, want [1 2]", r)
+	}
+}
+
+func TestRootsComplexConjugatePair(t *testing.T) {
+	// z² + 1 = 0 → ±i.
+	p := NewPolyReal([]float64{1, 0, 1})
+	r, err := p.Roots()
+	if err != nil {
+		t.Fatalf("Roots: %v", err)
+	}
+	sortComplexByImag(r)
+	if cmplx.Abs(r[0]-complex(0, -1)) > 1e-10 || cmplx.Abs(r[1]-complex(0, 1)) > 1e-10 {
+		t.Errorf("roots = %v, want ±i", r)
+	}
+}
+
+func TestRootsUnitCirclePolynomial(t *testing.T) {
+	// zⁿ - 1: roots are the n-th roots of unity — the structure root-MUSIC
+	// polynomials have.
+	for _, n := range []int{3, 5, 8, 16, 32} {
+		coeffs := make([]float64, n+1)
+		coeffs[0] = -1
+		coeffs[n] = 1
+		p := NewPolyReal(coeffs)
+		roots, err := p.Roots()
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(roots) != n {
+			t.Fatalf("n=%d: got %d roots", n, len(roots))
+		}
+		for _, z := range roots {
+			if math.Abs(cmplx.Abs(z)-1) > 1e-8 {
+				t.Errorf("n=%d: root %v not on unit circle", n, z)
+			}
+			if cmplx.Abs(cmplx.Pow(z, complex(float64(n), 0))-1) > 1e-6 {
+				t.Errorf("n=%d: root %v is not an n-th root of unity", n, z)
+			}
+		}
+	}
+}
+
+// Property: FromRoots followed by Roots recovers the original root multiset.
+func TestRootsRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(10)
+		want := make([]complex128, n)
+		for i := range want {
+			// Keep roots separated to avoid ill-conditioned clusters.
+			want[i] = complex(math.Round(r.NormFloat64()*4)/2, math.Round(r.NormFloat64()*4)/2)
+		}
+		dedup(want)
+		p := FromRoots(want)
+		got, err := p.Roots()
+		if err != nil {
+			return false
+		}
+		return matchRootSets(want, got, 1e-5)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every reported root has a small residual |p(z)|.
+func TestRootsResidualProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(20)
+		coeffs := make([]complex128, n+1)
+		for i := range coeffs {
+			coeffs[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		if coeffs[n] == 0 {
+			coeffs[n] = 1
+		}
+		p := NewPoly(coeffs)
+		roots, err := p.Roots()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		var scale float64
+		for _, c := range p.Coeffs {
+			scale += cmplx.Abs(c)
+		}
+		for _, z := range roots {
+			zb := math.Max(1, cmplx.Abs(z))
+			bound := 1e-6 * scale * math.Pow(zb, float64(p.Degree()))
+			if cmplx.Abs(p.Eval(z)) > bound {
+				t.Errorf("trial %d: residual %g exceeds %g at root %v",
+					trial, cmplx.Abs(p.Eval(z)), bound, z)
+			}
+		}
+	}
+}
+
+func TestFromRoots(t *testing.T) {
+	p := FromRoots([]complex128{1, 2}) // (z-1)(z-2) = z²-3z+2
+	want := []complex128{2, -3, 1}
+	for i, w := range want {
+		if cmplx.Abs(p.Coeffs[i]-w) > 1e-14 {
+			t.Errorf("coeff[%d] = %v, want %v", i, p.Coeffs[i], w)
+		}
+	}
+}
+
+func sortComplexByReal(r []complex128) {
+	sort.Slice(r, func(i, j int) bool { return real(r[i]) < real(r[j]) })
+}
+
+func sortComplexByImag(r []complex128) {
+	sort.Slice(r, func(i, j int) bool { return imag(r[i]) < imag(r[j]) })
+}
+
+// dedup perturbs duplicate roots slightly so the polynomial has simple roots.
+func dedup(roots []complex128) {
+	for i := range roots {
+		for j := 0; j < i; j++ {
+			if cmplx.Abs(roots[i]-roots[j]) < 0.3 {
+				roots[i] += complex(0.5+float64(i)*0.25, 0.37)
+			}
+		}
+	}
+}
+
+func matchRootSets(want, got []complex128, tol float64) bool {
+	if len(want) != len(got) {
+		return false
+	}
+	used := make([]bool, len(got))
+	for _, w := range want {
+		found := false
+		for i, g := range got {
+			if used[i] {
+				continue
+			}
+			if cmplx.Abs(w-g) < tol*(1+cmplx.Abs(w)) {
+				used[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func BenchmarkRootsDegree60(b *testing.B) {
+	// Same shape as a root-MUSIC noise polynomial for a 31-element window.
+	rng := rand.New(rand.NewSource(5))
+	coeffs := make([]complex128, 61)
+	for i := 0; i <= 30; i++ {
+		v := complex(rng.NormFloat64(), 0)
+		coeffs[30+i] = v
+		coeffs[30-i] = v
+	}
+	p := NewPoly(coeffs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Roots(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

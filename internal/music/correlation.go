@@ -1,0 +1,132 @@
+// Package music implements subspace frequency estimation for PhaseBeat's
+// multi-person breathing estimator: temporal correlation matrices built
+// from the 30 calibrated CSI phase-difference series (eq. (11)-(12) of the
+// paper), the root-MUSIC algorithm, and a spectral-MUSIC pseudospectrum
+// variant, plus eigenvalue-based model-order estimation.
+package music
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"phasebeat/internal/linalg"
+)
+
+// ErrNotEnoughData reports that the input series are too short for the
+// requested correlation window.
+var ErrNotEnoughData = errors.New("music: not enough data")
+
+// CorrelationOptions configures CorrelationMatrix.
+type CorrelationOptions struct {
+	// WindowLen is the temporal window M — the dimension of the resulting
+	// correlation matrix. Larger M gives finer frequency resolution but
+	// needs more data and a bigger eigenproblem.
+	WindowLen int
+	// ForwardBackward enables forward-backward averaging, which improves
+	// conditioning for the highly-correlated sinusoidal snapshots produced
+	// by breathing signals.
+	ForwardBackward bool
+	// DiagonalLoad adds a small multiple of the identity (relative to the
+	// average eigenvalue) for numerical stability. Zero disables loading.
+	DiagonalLoad float64
+}
+
+// CorrelationMatrix estimates the M×M temporal correlation matrix from one
+// or more time series ("snapshots" in the paper's sense: the 30 subcarrier
+// phase-difference series all carry the same breathing frequencies). Every
+// length-M sliding window of every series contributes one outer product —
+// temporal smoothing that decorrelates coherent sinusoids.
+func CorrelationMatrix(series [][]float64, opts CorrelationOptions) (*linalg.Matrix, error) {
+	m := opts.WindowLen
+	if m < 2 {
+		return nil, fmt.Errorf("music: window length must be >= 2, got %d", m)
+	}
+	r := linalg.NewMatrix(m, m)
+	count := 0
+	for _, s := range series {
+		for start := 0; start+m <= len(s); start++ {
+			if err := r.OuterAccumulate(s[start:start+m], 1); err != nil {
+				return nil, err
+			}
+			count++
+		}
+	}
+	if count == 0 {
+		return nil, fmt.Errorf("%w: no length-%d windows available", ErrNotEnoughData, m)
+	}
+	r.Scale(1 / float64(count))
+
+	if opts.ForwardBackward {
+		// R ← (R + J Rᵀ J)/2 with J the exchange matrix.
+		fb := linalg.NewMatrix(m, m)
+		for i := 0; i < m; i++ {
+			for j := 0; j < m; j++ {
+				fb.Set(i, j, (r.At(i, j)+r.At(m-1-i, m-1-j))/2)
+			}
+		}
+		r = fb
+	}
+	if opts.DiagonalLoad > 0 {
+		tr, err := r.Trace()
+		if err != nil {
+			return nil, err
+		}
+		load := opts.DiagonalLoad * tr / float64(m)
+		for i := 0; i < m; i++ {
+			r.Set(i, i, r.At(i, i)+load)
+		}
+	}
+	return r, nil
+}
+
+// EstimateOrder guesses the number of complex-exponential components in a
+// correlation matrix from the eigenvalue profile using the minimum
+// description length (MDL) criterion with nSamples observations. It returns
+// at least 0 and at most m-1.
+func EstimateOrder(eigenvalues []float64, nSamples int) int {
+	m := len(eigenvalues)
+	if m < 2 || nSamples < 1 {
+		return 0
+	}
+	// Clamp tiny negatives from numerical noise.
+	vals := make([]float64, m)
+	for i, v := range eigenvalues {
+		if v < 1e-15 {
+			v = 1e-15
+		}
+		vals[i] = v
+	}
+	best, bestMDL := 0, mdl(vals, 0, nSamples)
+	for k := 1; k < m; k++ {
+		if v := mdl(vals, k, nSamples); v < bestMDL {
+			best, bestMDL = k, v
+		}
+	}
+	return best
+}
+
+// mdl computes the MDL score for k signals.
+func mdl(vals []float64, k, n int) float64 {
+	m := len(vals)
+	q := m - k
+	var logSum, sum float64
+	for _, v := range vals[k:] {
+		logSum += logf(v)
+		sum += v
+	}
+	arith := sum / float64(q)
+	// -N(M-k)·log(geometric/arithmetic mean ratio) + penalty.
+	ll := float64(n) * (float64(q)*logf(arith) - logSum)
+	penalty := 0.5 * float64(k*(2*m-k)) * logf(float64(n))
+	return ll + penalty
+}
+
+// logf is a log that saturates instead of returning -Inf for non-positive
+// inputs produced by numerical noise.
+func logf(x float64) float64 {
+	if x <= 0 {
+		x = 1e-300
+	}
+	return math.Log(x)
+}

@@ -1,0 +1,92 @@
+package music
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"phasebeat/internal/linalg"
+)
+
+// Pseudospectrum holds a MUSIC pseudospectrum evaluated on a frequency
+// grid.
+type Pseudospectrum struct {
+	// Freqs holds the grid frequencies in Hz.
+	Freqs []float64
+	// Values holds 1/‖Eₙᴴ a(f)‖² at each grid point.
+	Values []float64
+}
+
+// SpectralMUSIC evaluates the MUSIC pseudospectrum of correlation matrix r
+// on nPoints frequencies spanning [fLo, fHi] (Hz) for data sampled at fs,
+// assuming nSignals real sinusoids. It is the search-based alternative to
+// RootMUSIC, useful as a cross-check and for visualization.
+func SpectralMUSIC(r *linalg.Matrix, nSignals int, fs, fLo, fHi float64, nPoints int) (*Pseudospectrum, error) {
+	m := r.Rows()
+	nExp := 2 * nSignals
+	if nSignals < 1 || nExp >= m {
+		return nil, fmt.Errorf("music: invalid signal count %d for window %d", nSignals, m)
+	}
+	if nPoints < 2 {
+		return nil, fmt.Errorf("music: need at least 2 grid points, got %d", nPoints)
+	}
+	if fs <= 0 || fLo < 0 || fHi <= fLo || fHi > fs/2 {
+		return nil, fmt.Errorf("music: invalid band [%v, %v] at fs %v", fLo, fHi, fs)
+	}
+	eig, err := linalg.EigSym(r)
+	if err != nil {
+		return nil, fmt.Errorf("music: eigendecomposition: %w", err)
+	}
+	noise := make([][]float64, 0, m-nExp)
+	for vi := nExp; vi < m; vi++ {
+		noise = append(noise, eig.Vectors.Col(vi))
+	}
+
+	ps := &Pseudospectrum{
+		Freqs:  make([]float64, nPoints),
+		Values: make([]float64, nPoints),
+	}
+	step := (fHi - fLo) / float64(nPoints-1)
+	for p := 0; p < nPoints; p++ {
+		f := fLo + float64(p)*step
+		ps.Freqs[p] = f
+		w := 2 * math.Pi * f / fs
+		// a(f) = [1, e^{jw}, …, e^{jw(M-1)}]; accumulate Σ_v |aᴴv|².
+		var denom float64
+		for _, v := range noise {
+			var re, im float64
+			for i, vi := range v {
+				re += vi * math.Cos(w*float64(i))
+				im -= vi * math.Sin(w*float64(i))
+			}
+			denom += re*re + im*im
+		}
+		if denom < 1e-300 {
+			denom = 1e-300
+		}
+		ps.Values[p] = 1 / denom
+	}
+	return ps, nil
+}
+
+// Peaks returns the count highest local maxima of the pseudospectrum in
+// ascending frequency order.
+func (p *Pseudospectrum) Peaks(count int) []float64 {
+	type pk struct{ f, v float64 }
+	var cands []pk
+	for i := 1; i < len(p.Values)-1; i++ {
+		if p.Values[i] > p.Values[i-1] && p.Values[i] >= p.Values[i+1] {
+			cands = append(cands, pk{f: p.Freqs[i], v: p.Values[i]})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].v > cands[j].v })
+	if len(cands) > count {
+		cands = cands[:count]
+	}
+	out := make([]float64, len(cands))
+	for i, c := range cands {
+		out[i] = c.f
+	}
+	sort.Float64s(out)
+	return out
+}

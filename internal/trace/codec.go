@@ -1,0 +1,231 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary format:
+//
+//	magic "PBTR" | uint16 version | float64 rate | float64 carrier |
+//	uint16 antennas | uint16 subcarriers | uint32 packet count |
+//	packets: float64 time, then antennas×subcarriers×(float64 re, float64 im)
+const (
+	formatMagic   = "PBTR"
+	formatVersion = 1
+)
+
+// ErrBadFormat reports a malformed or truncated binary trace.
+var ErrBadFormat = errors.New("trace: bad format")
+
+// Write encodes the trace to w in the PhaseBeat binary format.
+func Write(w io.Writer, t *Trace) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(formatMagic); err != nil {
+		return fmt.Errorf("trace: write magic: %w", err)
+	}
+	hdr := struct {
+		Version              uint16
+		Rate, Carrier        float64
+		Antennas, Subcarrier uint16
+		Count                uint32
+	}{
+		Version:    formatVersion,
+		Rate:       t.SampleRate,
+		Carrier:    t.CarrierHz,
+		Antennas:   uint16(t.NumAntennas),
+		Subcarrier: uint16(t.NumSubcarriers),
+		Count:      uint32(len(t.Packets)),
+	}
+	if err := binary.Write(bw, binary.LittleEndian, &hdr); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	buf := make([]byte, 8)
+	writeF64 := func(v float64) error {
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+		_, err := bw.Write(buf)
+		return err
+	}
+	for _, p := range t.Packets {
+		if err := writeF64(p.Time); err != nil {
+			return fmt.Errorf("trace: write packet: %w", err)
+		}
+		for _, row := range p.CSI {
+			for _, c := range row {
+				if err := writeF64(real(c)); err != nil {
+					return fmt.Errorf("trace: write packet: %w", err)
+				}
+				if err := writeF64(imag(c)); err != nil {
+					return fmt.Errorf("trace: write packet: %w", err)
+				}
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("trace: flush: %w", err)
+	}
+	return nil
+}
+
+// Read decodes a trace previously written with Write.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(formatMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: magic: %v", ErrBadFormat, err)
+	}
+	if string(magic) != formatMagic {
+		return nil, fmt.Errorf("%w: magic %q", ErrBadFormat, magic)
+	}
+	var hdr struct {
+		Version              uint16
+		Rate, Carrier        float64
+		Antennas, Subcarrier uint16
+		Count                uint32
+	}
+	if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrBadFormat, err)
+	}
+	if hdr.Version != formatVersion {
+		return nil, fmt.Errorf("%w: version %d (supported: %d)", ErrBadFormat, hdr.Version, formatVersion)
+	}
+	t := &Trace{
+		SampleRate:     hdr.Rate,
+		CarrierHz:      hdr.Carrier,
+		NumAntennas:    int(hdr.Antennas),
+		NumSubcarriers: int(hdr.Subcarrier),
+		Packets:        make([]Packet, 0, hdr.Count),
+	}
+	buf := make([]byte, 8)
+	readF64 := func() (float64, error) {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return 0, err
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(buf)), nil
+	}
+	for i := uint32(0); i < hdr.Count; i++ {
+		tm, err := readF64()
+		if err != nil {
+			return nil, fmt.Errorf("%w: packet %d time: %v", ErrBadFormat, i, err)
+		}
+		p := Packet{Time: tm, CSI: make([][]complex128, t.NumAntennas)}
+		for a := 0; a < t.NumAntennas; a++ {
+			row := make([]complex128, t.NumSubcarriers)
+			for s := 0; s < t.NumSubcarriers; s++ {
+				re, err := readF64()
+				if err != nil {
+					return nil, fmt.Errorf("%w: packet %d antenna %d: %v", ErrBadFormat, i, a, err)
+				}
+				im, err := readF64()
+				if err != nil {
+					return nil, fmt.Errorf("%w: packet %d antenna %d: %v", ErrBadFormat, i, a, err)
+				}
+				row[s] = complex(re, im)
+			}
+			p.CSI[a] = row
+		}
+		t.Packets = append(t.Packets, p)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Writer streams packets to an io.Writer without holding the whole trace in
+// memory. The packet count is written on Close by rewriting the header, so
+// the underlying writer must also be an io.WriteSeeker; for pure streams
+// use Write with a complete Trace instead.
+type Writer struct {
+	ws      io.WriteSeeker
+	meta    Trace
+	count   uint32
+	started bool
+}
+
+// NewWriter creates a streaming trace writer with the given metadata.
+func NewWriter(ws io.WriteSeeker, meta Trace) *Writer {
+	meta.Packets = nil
+	return &Writer{ws: ws, meta: meta}
+}
+
+// WritePacket appends one packet.
+func (w *Writer) WritePacket(p Packet) error {
+	if !w.started {
+		w.meta.Packets = nil
+		if err := Write(w.ws, &Trace{
+			SampleRate:     w.meta.SampleRate,
+			NumAntennas:    w.meta.NumAntennas,
+			NumSubcarriers: w.meta.NumSubcarriers,
+			CarrierHz:      w.meta.CarrierHz,
+		}); err != nil {
+			return err
+		}
+		w.started = true
+	}
+	if len(p.CSI) != w.meta.NumAntennas {
+		return fmt.Errorf("%w: packet has %d antennas, want %d", ErrInvalidTrace, len(p.CSI), w.meta.NumAntennas)
+	}
+	buf := make([]byte, 8, 8)
+	writeF64 := func(v float64) error {
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+		_, err := w.ws.Write(buf)
+		return err
+	}
+	if err := writeF64(p.Time); err != nil {
+		return fmt.Errorf("trace: stream packet: %w", err)
+	}
+	for _, row := range p.CSI {
+		if len(row) != w.meta.NumSubcarriers {
+			return fmt.Errorf("%w: packet row has %d subcarriers, want %d", ErrInvalidTrace, len(row), w.meta.NumSubcarriers)
+		}
+		for _, c := range row {
+			if err := writeF64(real(c)); err != nil {
+				return fmt.Errorf("trace: stream packet: %w", err)
+			}
+			if err := writeF64(imag(c)); err != nil {
+				return fmt.Errorf("trace: stream packet: %w", err)
+			}
+		}
+	}
+	w.count++
+	return nil
+}
+
+// Close patches the packet count into the header.
+func (w *Writer) Close() error {
+	if !w.started {
+		// Write an empty but valid trace.
+		if err := Write(w.ws, &Trace{
+			SampleRate:     w.meta.SampleRate,
+			NumAntennas:    w.meta.NumAntennas,
+			NumSubcarriers: w.meta.NumSubcarriers,
+			CarrierHz:      w.meta.CarrierHz,
+		}); err != nil {
+			return err
+		}
+		return nil
+	}
+	// Header layout: magic(4) + version(2) + rate(8) + carrier(8) +
+	// antennas(2) + subcarriers(2) = 26 bytes before the count.
+	const countOffset = 4 + 2 + 8 + 8 + 2 + 2
+	if _, err := w.ws.Seek(countOffset, io.SeekStart); err != nil {
+		return fmt.Errorf("trace: seek header: %w", err)
+	}
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], w.count)
+	if _, err := w.ws.Write(buf[:]); err != nil {
+		return fmt.Errorf("trace: patch count: %w", err)
+	}
+	if _, err := w.ws.Seek(0, io.SeekEnd); err != nil {
+		return fmt.Errorf("trace: seek end: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,51 @@
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+)
+
+// WriteCompressed encodes the trace in the binary format wrapped in gzip.
+// CSI traces compress to roughly a third of their binary size, which
+// matters for the long captures the sleep-monitoring use case records.
+func WriteCompressed(w io.Writer, t *Trace) error {
+	zw := gzip.NewWriter(w)
+	if err := Write(zw, t); err != nil {
+		zw.Close()
+		return err
+	}
+	if err := zw.Close(); err != nil {
+		return fmt.Errorf("trace: gzip close: %w", err)
+	}
+	return nil
+}
+
+// ReadCompressed decodes a trace written with WriteCompressed.
+func ReadCompressed(r io.Reader) (*Trace, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: gzip: %v", ErrBadFormat, err)
+	}
+	defer zr.Close()
+	return Read(zr)
+}
+
+// ReadAuto sniffs the stream and decodes any of the three formats: gzip-
+// wrapped binary (magic 0x1f 0x8b), plain binary ("PBTR") or JSON lines.
+func ReadAuto(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(4)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	switch {
+	case head[0] == 0x1f && head[1] == 0x8b:
+		return ReadCompressed(br)
+	case string(head) == formatMagic:
+		return Read(br)
+	default:
+		return ReadJSON(br)
+	}
+}

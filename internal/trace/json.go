@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// jsonHeader is the first line of a JSON-lines trace.
+type jsonHeader struct {
+	Format         string  `json:"format"`
+	Version        int     `json:"version"`
+	SampleRateHz   float64 `json:"sampleRateHz"`
+	CarrierHz      float64 `json:"carrierHz"`
+	NumAntennas    int     `json:"numAntennas"`
+	NumSubcarriers int     `json:"numSubcarriers"`
+}
+
+// jsonPacket is one subsequent line: CSI as [antenna][subcarrier][2]
+// (re, im) — JSON has no complex type.
+type jsonPacket struct {
+	TimeS float64        `json:"timeS"`
+	CSI   [][][2]float64 `json:"csi"`
+}
+
+const jsonFormatName = "phasebeat-csi"
+
+// WriteJSON encodes the trace as JSON lines: a header object followed by
+// one packet object per line. It is the interoperability format (easy to
+// consume from Python/Matlab); the binary codec is ~3× smaller.
+func WriteJSON(w io.Writer, t *Trace) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	hdr := jsonHeader{
+		Format:         jsonFormatName,
+		Version:        formatVersion,
+		SampleRateHz:   t.SampleRate,
+		CarrierHz:      t.CarrierHz,
+		NumAntennas:    t.NumAntennas,
+		NumSubcarriers: t.NumSubcarriers,
+	}
+	if err := enc.Encode(hdr); err != nil {
+		return fmt.Errorf("trace: encode header: %w", err)
+	}
+	for i, p := range t.Packets {
+		jp := jsonPacket{TimeS: p.Time, CSI: make([][][2]float64, len(p.CSI))}
+		for a, row := range p.CSI {
+			cells := make([][2]float64, len(row))
+			for s, c := range row {
+				cells[s] = [2]float64{real(c), imag(c)}
+			}
+			jp.CSI[a] = cells
+		}
+		if err := enc.Encode(jp); err != nil {
+			return fmt.Errorf("trace: encode packet %d: %w", i, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("trace: flush: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON decodes a trace written with WriteJSON.
+func ReadJSON(r io.Reader) (*Trace, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var hdr jsonHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrBadFormat, err)
+	}
+	if hdr.Format != jsonFormatName {
+		return nil, fmt.Errorf("%w: format %q", ErrBadFormat, hdr.Format)
+	}
+	if hdr.Version != formatVersion {
+		return nil, fmt.Errorf("%w: version %d (supported: %d)", ErrBadFormat, hdr.Version, formatVersion)
+	}
+	t := &Trace{
+		SampleRate:     hdr.SampleRateHz,
+		CarrierHz:      hdr.CarrierHz,
+		NumAntennas:    hdr.NumAntennas,
+		NumSubcarriers: hdr.NumSubcarriers,
+	}
+	for {
+		var jp jsonPacket
+		if err := dec.Decode(&jp); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("%w: packet %d: %v", ErrBadFormat, len(t.Packets), err)
+		}
+		p := Packet{Time: jp.TimeS, CSI: make([][]complex128, len(jp.CSI))}
+		for a, row := range jp.CSI {
+			cells := make([]complex128, len(row))
+			for s, c := range row {
+				cells[s] = complex(c[0], c[1])
+			}
+			p.CSI[a] = cells
+		}
+		t.Packets = append(t.Packets, p)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,99 @@
+// Package trace defines the CSI trace container shared by the simulator,
+// the PhaseBeat pipeline and the CLI tools, along with a binary codec and a
+// streaming reader/writer. It plays the role of the Intel 5300 CSI Tool's
+// .dat capture files in the original system.
+package trace
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInvalidTrace reports a structurally inconsistent trace.
+var ErrInvalidTrace = errors.New("trace: invalid trace")
+
+// Packet is one CSI measurement: the complex channel response of every
+// (antenna, subcarrier) pair at a point in time.
+type Packet struct {
+	// Time is the capture timestamp in seconds from the start of the trace.
+	Time float64
+	// CSI is indexed [antenna][subcarrier].
+	CSI [][]complex128
+}
+
+// Clone returns a deep copy of the packet.
+func (p Packet) Clone() Packet {
+	out := Packet{Time: p.Time, CSI: make([][]complex128, len(p.CSI))}
+	for a, row := range p.CSI {
+		out.CSI[a] = make([]complex128, len(row))
+		copy(out.CSI[a], row)
+	}
+	return out
+}
+
+// Trace is a sequence of CSI packets captured at a nominal rate.
+type Trace struct {
+	// SampleRate is the nominal packet rate in Hz.
+	SampleRate float64
+	// NumAntennas is the receive antenna count.
+	NumAntennas int
+	// NumSubcarriers is the per-antenna subcarrier count (30 for the
+	// Intel 5300).
+	NumSubcarriers int
+	// CarrierHz is the RF carrier frequency (metadata).
+	CarrierHz float64
+	// Packets holds the measurements in time order.
+	Packets []Packet
+}
+
+// Validate checks the structural invariants of the trace.
+func (t *Trace) Validate() error {
+	if t.SampleRate <= 0 {
+		return fmt.Errorf("%w: sample rate %v", ErrInvalidTrace, t.SampleRate)
+	}
+	if t.NumAntennas < 1 || t.NumSubcarriers < 1 {
+		return fmt.Errorf("%w: %d antennas, %d subcarriers", ErrInvalidTrace, t.NumAntennas, t.NumSubcarriers)
+	}
+	last := -1.0
+	for i, p := range t.Packets {
+		if len(p.CSI) != t.NumAntennas {
+			return fmt.Errorf("%w: packet %d has %d antennas, want %d", ErrInvalidTrace, i, len(p.CSI), t.NumAntennas)
+		}
+		for a, row := range p.CSI {
+			if len(row) != t.NumSubcarriers {
+				return fmt.Errorf("%w: packet %d antenna %d has %d subcarriers, want %d",
+					ErrInvalidTrace, i, a, len(row), t.NumSubcarriers)
+			}
+		}
+		if p.Time < last {
+			return fmt.Errorf("%w: packet %d time %v before %v", ErrInvalidTrace, i, p.Time, last)
+		}
+		last = p.Time
+	}
+	return nil
+}
+
+// Duration returns the time span covered by the trace in seconds.
+func (t *Trace) Duration() float64 {
+	if len(t.Packets) == 0 {
+		return 0
+	}
+	return t.Packets[len(t.Packets)-1].Time - t.Packets[0].Time
+}
+
+// Len returns the packet count.
+func (t *Trace) Len() int { return len(t.Packets) }
+
+// Slice returns a shallow sub-trace covering packets [from, to).
+func (t *Trace) Slice(from, to int) (*Trace, error) {
+	if from < 0 || to > len(t.Packets) || from > to {
+		return nil, fmt.Errorf("%w: slice [%d, %d) of %d packets", ErrInvalidTrace, from, to, len(t.Packets))
+	}
+	return &Trace{
+		SampleRate:     t.SampleRate,
+		NumAntennas:    t.NumAntennas,
+		NumSubcarriers: t.NumSubcarriers,
+		CarrierHz:      t.CarrierHz,
+		Packets:        t.Packets[from:to],
+	}, nil
+}

@@ -1,0 +1,343 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func randomTrace(rng *rand.Rand, packets, antennas, subcarriers int) *Trace {
+	t := &Trace{
+		SampleRate:     400,
+		NumAntennas:    antennas,
+		NumSubcarriers: subcarriers,
+		CarrierHz:      5.32e9,
+		Packets:        make([]Packet, 0, packets),
+	}
+	for i := 0; i < packets; i++ {
+		p := Packet{Time: float64(i) / 400, CSI: make([][]complex128, antennas)}
+		for a := 0; a < antennas; a++ {
+			row := make([]complex128, subcarriers)
+			for s := range row {
+				row[s] = complex(rng.NormFloat64(), rng.NormFloat64())
+			}
+			p.CSI[a] = row
+		}
+		t.Packets = append(t.Packets, p)
+	}
+	return t
+}
+
+func tracesEqual(a, b *Trace) bool {
+	if a.SampleRate != b.SampleRate || a.NumAntennas != b.NumAntennas ||
+		a.NumSubcarriers != b.NumSubcarriers || a.CarrierHz != b.CarrierHz ||
+		len(a.Packets) != len(b.Packets) {
+		return false
+	}
+	for i := range a.Packets {
+		if a.Packets[i].Time != b.Packets[i].Time {
+			return false
+		}
+		for ant := range a.Packets[i].CSI {
+			for s := range a.Packets[i].CSI[ant] {
+				if a.Packets[i].CSI[ant][s] != b.Packets[i].CSI[ant][s] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func TestValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr := randomTrace(rng, 5, 2, 30)
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	bad := randomTrace(rng, 5, 2, 30)
+	bad.Packets[2].CSI = bad.Packets[2].CSI[:1]
+	if err := bad.Validate(); !errors.Is(err, ErrInvalidTrace) {
+		t.Errorf("want ErrInvalidTrace, got %v", err)
+	}
+	outOfOrder := randomTrace(rng, 5, 2, 30)
+	outOfOrder.Packets[3].Time = 0.0001
+	if err := outOfOrder.Validate(); !errors.Is(err, ErrInvalidTrace) {
+		t.Errorf("want ErrInvalidTrace for time regression, got %v", err)
+	}
+	zeroRate := randomTrace(rng, 1, 1, 1)
+	zeroRate.SampleRate = 0
+	if err := zeroRate.Validate(); !errors.Is(err, ErrInvalidTrace) {
+		t.Errorf("want ErrInvalidTrace for zero rate, got %v", err)
+	}
+}
+
+func TestDurationAndSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tr := randomTrace(rng, 400, 2, 4)
+	if d := tr.Duration(); d <= 0.99 || d >= 1.0 {
+		t.Errorf("Duration = %v, want ~0.9975", d)
+	}
+	sub, err := tr.Slice(100, 200)
+	if err != nil {
+		t.Fatalf("Slice: %v", err)
+	}
+	if sub.Len() != 100 || sub.Packets[0].Time != tr.Packets[100].Time {
+		t.Errorf("bad slice: len=%d", sub.Len())
+	}
+	if _, err := tr.Slice(-1, 5); err == nil {
+		t.Error("want error for negative start")
+	}
+	if _, err := tr.Slice(10, 5); err == nil {
+		t.Error("want error for inverted range")
+	}
+	var empty Trace
+	if empty.Duration() != 0 {
+		t.Error("empty trace duration should be 0")
+	}
+}
+
+func TestPacketClone(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := randomTrace(rng, 1, 2, 3)
+	c := tr.Packets[0].Clone()
+	c.CSI[0][0] = complex(99, 99)
+	if tr.Packets[0].CSI[0][0] == complex(99, 99) {
+		t.Error("Clone shares backing storage")
+	}
+}
+
+// Property: binary codec round-trips arbitrary traces exactly.
+func TestCodecRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := randomTrace(r, r.Intn(20), 1+r.Intn(3), 1+r.Intn(30))
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		return tracesEqual(tr, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not a trace"))); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("want ErrBadFormat, got %v", err)
+	}
+	if _, err := Read(bytes.NewReader(nil)); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("want ErrBadFormat for empty, got %v", err)
+	}
+	// Truncated valid prefix.
+	rng := rand.New(rand.NewSource(5))
+	tr := randomTrace(rng, 3, 2, 4)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-10]
+	if _, err := Read(bytes.NewReader(trunc)); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("want ErrBadFormat for truncation, got %v", err)
+	}
+}
+
+func TestWriteRejectsInvalid(t *testing.T) {
+	var buf bytes.Buffer
+	bad := &Trace{SampleRate: -1, NumAntennas: 1, NumSubcarriers: 1}
+	if err := Write(&buf, bad); err == nil {
+		t.Error("want error for invalid trace")
+	}
+}
+
+func TestStreamingWriter(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "stream.pbtr")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	tr := randomTrace(rng, 7, 2, 5)
+	w := NewWriter(f, Trace{
+		SampleRate:     tr.SampleRate,
+		NumAntennas:    tr.NumAntennas,
+		NumSubcarriers: tr.NumSubcarriers,
+		CarrierHz:      tr.CarrierHz,
+	})
+	for _, p := range tr.Packets {
+		if err := w.WritePacket(p); err != nil {
+			t.Fatalf("WritePacket: %v", err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	got, err := Read(rf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !tracesEqual(tr, got) {
+		t.Error("streamed trace differs from original")
+	}
+}
+
+func TestStreamingWriterEmptyClose(t *testing.T) {
+	dir := t.TempDir()
+	f, err := os.Create(filepath.Join(dir, "empty.pbtr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriter(f, Trace{SampleRate: 400, NumAntennas: 2, NumSubcarriers: 30})
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(f)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Len() != 0 {
+		t.Errorf("empty stream has %d packets", got.Len())
+	}
+	f.Close()
+}
+
+func TestStreamingWriterRejectsBadPacket(t *testing.T) {
+	dir := t.TempDir()
+	f, err := os.Create(filepath.Join(dir, "bad.pbtr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w := NewWriter(f, Trace{SampleRate: 400, NumAntennas: 2, NumSubcarriers: 3})
+	bad := Packet{Time: 0, CSI: [][]complex128{{1, 2, 3}}} // one antenna only
+	if err := w.WritePacket(bad); !errors.Is(err, ErrInvalidTrace) {
+		t.Errorf("want ErrInvalidTrace, got %v", err)
+	}
+}
+
+// Property: the JSON codec round-trips arbitrary traces exactly (float64
+// survives encoding/json in Go).
+func TestJSONRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := randomTrace(r, r.Intn(8), 1+r.Intn(3), 1+r.Intn(10))
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, tr); err != nil {
+			return false
+		}
+		got, err := ReadJSON(&buf)
+		if err != nil {
+			return false
+		}
+		return tracesEqual(tr, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(bytes.NewReader([]byte("not json"))); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("want ErrBadFormat, got %v", err)
+	}
+	if _, err := ReadJSON(bytes.NewReader([]byte(`{"format":"other","version":1}`))); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("want ErrBadFormat for wrong format name, got %v", err)
+	}
+	if _, err := ReadJSON(bytes.NewReader([]byte(`{"format":"phasebeat-csi","version":99}`))); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("want ErrBadFormat for wrong version, got %v", err)
+	}
+	// Truncated packet line.
+	rng := rand.New(rand.NewSource(15))
+	tr := randomTrace(rng, 2, 1, 3)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-5]
+	if _, err := ReadJSON(bytes.NewReader(trunc)); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("want ErrBadFormat for truncation, got %v", err)
+	}
+}
+
+func TestWriteJSONRejectsInvalid(t *testing.T) {
+	var buf bytes.Buffer
+	bad := &Trace{SampleRate: 0, NumAntennas: 1, NumSubcarriers: 1}
+	if err := WriteJSON(&buf, bad); err == nil {
+		t.Error("want error for invalid trace")
+	}
+}
+
+func TestCompressedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	tr := randomTrace(rng, 50, 2, 30)
+	var buf bytes.Buffer
+	if err := WriteCompressed(&buf, tr); err != nil {
+		t.Fatalf("WriteCompressed: %v", err)
+	}
+	var raw bytes.Buffer
+	if err := Write(&raw, tr); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() >= raw.Len() {
+		t.Errorf("gzip did not shrink: %d vs %d bytes", buf.Len(), raw.Len())
+	}
+	got, err := ReadCompressed(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadCompressed: %v", err)
+	}
+	if !tracesEqual(tr, got) {
+		t.Error("compressed round trip mismatch")
+	}
+}
+
+func TestReadAutoDetectsAllFormats(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	tr := randomTrace(rng, 5, 2, 6)
+	encoders := map[string]func(*bytes.Buffer) error{
+		"binary": func(b *bytes.Buffer) error { return Write(b, tr) },
+		"json":   func(b *bytes.Buffer) error { return WriteJSON(b, tr) },
+		"gzip":   func(b *bytes.Buffer) error { return WriteCompressed(b, tr) },
+	}
+	for name, enc := range encoders {
+		var buf bytes.Buffer
+		if err := enc(&buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := ReadAuto(&buf)
+		if err != nil {
+			t.Fatalf("ReadAuto(%s): %v", name, err)
+		}
+		if !tracesEqual(tr, got) {
+			t.Errorf("ReadAuto(%s) mismatch", name)
+		}
+	}
+	if _, err := ReadAuto(bytes.NewReader([]byte("?!"))); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("want ErrBadFormat for garbage, got %v", err)
+	}
+	if _, err := ReadCompressed(bytes.NewReader([]byte("nope"))); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("want ErrBadFormat for non-gzip, got %v", err)
+	}
+}

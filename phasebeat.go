@@ -1,0 +1,211 @@
+// Package phasebeat is a from-scratch Go implementation of PhaseBeat
+// (Wang, Yang, Mao — IEEE ICDCS 2017): contact-free breathing and heart
+// rate monitoring from the CSI phase difference between two receive
+// antennas of a commodity WiFi NIC.
+//
+// The package exposes the full system:
+//
+//   - batch processing of CSI traces (ProcessTrace) and realtime streaming
+//     (NewMonitor / Monitor.Ingest),
+//   - the physics-based CSI simulator that substitutes for Intel 5300
+//     hardware (Simulate, Scenario), including the paper's NIC phase-error
+//     model of eq. (3)-(4),
+//   - the trace container with a binary codec (ReadTrace / WriteTrace),
+//   - and the amplitude-based comparison method of Liu et al. [13]
+//     (EstimateAmplitudeBaseline).
+//
+// A minimal session:
+//
+//	tr, truth, err := phasebeat.Simulate(phasebeat.Scenario{
+//	    Kind:          phasebeat.ScenarioLaboratory,
+//	    TxRxDistanceM: 3,
+//	    NumPersons:    1,
+//	    Seed:          1,
+//	}, 60)
+//	// handle err
+//	res, err := phasebeat.ProcessTrace(tr)
+//	// handle err
+//	fmt.Printf("breathing %.1f bpm (truth %.1f)\n",
+//	    res.Breathing.RateBPM, truth[0].BreathingBPM)
+package phasebeat
+
+import (
+	"io"
+
+	"phasebeat/internal/baseline"
+	"phasebeat/internal/core"
+	"phasebeat/internal/csisim"
+	"phasebeat/internal/trace"
+)
+
+// Re-exported core types. The aliases form the public facade over the
+// internal packages; see each type's documentation there.
+type (
+	// Config holds every tunable of the PhaseBeat pipeline.
+	Config = core.Config
+	// Result is a batch pipeline output, including the intermediate
+	// products the paper's figures visualize.
+	Result = core.Result
+	// BreathingEstimate is the single-person breathing result.
+	BreathingEstimate = core.BreathingEstimate
+	// HeartEstimate is the heart-rate result.
+	HeartEstimate = core.HeartEstimate
+	// MultiPersonEstimate is the root-MUSIC multi-person result.
+	MultiPersonEstimate = core.MultiPersonEstimate
+	// Monitor is the realtime streaming processor.
+	Monitor = core.Monitor
+	// MonitorConfig configures a Monitor.
+	MonitorConfig = core.MonitorConfig
+	// Update is one realtime estimate.
+	Update = core.Update
+	// EnvironmentState classifies a detection window.
+	EnvironmentState = core.EnvironmentState
+	// TrackPoint and TrackConfig belong to the offline sliding-window
+	// rate tracker.
+	TrackPoint  = core.TrackPoint
+	TrackConfig = core.TrackConfig
+	// ProcessorOption customizes ProcessTrace.
+	ProcessorOption = core.Option
+
+	// Trace is a CSI capture; Packet is one CSI measurement.
+	Trace  = trace.Trace
+	Packet = trace.Packet
+
+	// Scenario describes a simulated deployment; ScenarioKind selects its
+	// environment template; Person is a monitored subject; VitalTruth the
+	// ground-truth rates.
+	Scenario     = csisim.Scenario
+	ScenarioKind = csisim.ScenarioKind
+	Person       = csisim.Person
+	VitalTruth   = csisim.VitalTruth
+	// Simulator generates CSI packets for a configured scene.
+	Simulator = csisim.Simulator
+
+	// BaselineConfig and BaselineEstimate belong to the amplitude-based
+	// comparison method [13].
+	BaselineConfig   = baseline.Config
+	BaselineEstimate = baseline.Estimate
+)
+
+// Environment detection states (paper Section III-B1).
+const (
+	EnvNoPerson   = core.EnvNoPerson
+	EnvStationary = core.EnvStationary
+	EnvMotion     = core.EnvMotion
+)
+
+// Scenario kinds matching the paper's three experimental setups.
+const (
+	ScenarioLaboratory  = csisim.ScenarioLaboratory
+	ScenarioThroughWall = csisim.ScenarioThroughWall
+	ScenarioCorridor    = csisim.ScenarioCorridor
+)
+
+// Errors exposed for matching with errors.Is.
+var (
+	// ErrNoData reports an empty or too-short input.
+	ErrNoData = core.ErrNoData
+	// ErrNotStationary reports that no usable stationary segment exists.
+	ErrNotStationary = core.ErrNotStationary
+)
+
+// DefaultConfig returns the paper's 400 Hz operating point.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// ConfigForRate adapts the defaults to a different capture rate.
+func ConfigForRate(sampleRate float64) Config { return core.ConfigForRate(sampleRate) }
+
+// WithConfig overrides the pipeline configuration for ProcessTrace.
+func WithConfig(cfg Config) ProcessorOption { return core.WithConfig(cfg) }
+
+// WithPersons sets the monitored person count for ProcessTrace; above one,
+// the root-MUSIC multi-person estimator runs.
+func WithPersons(n int) ProcessorOption { return core.WithPersons(n) }
+
+// ProcessTrace runs the full PhaseBeat pipeline over a complete trace.
+func ProcessTrace(tr *Trace, opts ...ProcessorOption) (*Result, error) {
+	p, err := core.NewProcessor(opts...)
+	if err != nil {
+		return nil, err
+	}
+	return p.Process(tr)
+}
+
+// DefaultMonitorConfig returns the realtime defaults (1-minute window,
+// estimate every 5 s).
+func DefaultMonitorConfig() MonitorConfig { return core.DefaultMonitorConfig() }
+
+// NewMonitor starts a realtime monitor; feed it with Ingest and read
+// Updates.
+func NewMonitor(cfg MonitorConfig) (*Monitor, error) { return core.NewMonitor(cfg) }
+
+// DefaultTrackConfig returns the offline tracker defaults (60 s window,
+// 10 s stride).
+func DefaultTrackConfig() TrackConfig { return core.DefaultTrackConfig() }
+
+// TrackRates produces a vital-sign time series over sliding windows of a
+// recorded trace — the offline counterpart of the streaming Monitor.
+func TrackRates(tr *Trace, cfg TrackConfig) ([]TrackPoint, error) {
+	return core.TrackRates(tr, cfg)
+}
+
+// Simulate builds the scenario and generates durationS seconds of CSI,
+// returning the trace and the per-person ground truth.
+func Simulate(sc Scenario, durationS float64) (*Trace, []VitalTruth, error) {
+	sim, err := sc.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	tr, err := sim.Generate(durationS)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tr, sim.Truth(), nil
+}
+
+// NewSimulator builds a streaming simulator for the scenario (for feeding
+// a Monitor in realtime).
+func NewSimulator(sc Scenario) (*Simulator, error) { return sc.Build() }
+
+// SimulateFixedRates builds a laboratory scene whose persons breathe at
+// exactly the given rates — the controlled setup of the paper's Fig. 8.
+func SimulateFixedRates(breathingBPM []float64, durationS float64, seed int64) (*Trace, []VitalTruth, error) {
+	sim, err := csisim.FixedRatesScenario(breathingBPM, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	tr, err := sim.Generate(durationS)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tr, sim.Truth(), nil
+}
+
+// ReadTrace decodes a binary trace.
+func ReadTrace(r io.Reader) (*Trace, error) { return trace.Read(r) }
+
+// WriteTrace encodes a trace in the binary format.
+func WriteTrace(w io.Writer, tr *Trace) error { return trace.Write(w, tr) }
+
+// ReadTraceJSON decodes a JSON-lines trace (the interoperability format).
+func ReadTraceJSON(r io.Reader) (*Trace, error) { return trace.ReadJSON(r) }
+
+// ReadTraceAuto sniffs the stream and decodes any supported trace format:
+// gzip-wrapped binary, plain binary or JSON lines.
+func ReadTraceAuto(r io.Reader) (*Trace, error) { return trace.ReadAuto(r) }
+
+// WriteTraceCompressed encodes a trace as gzip-wrapped binary (~3× smaller
+// than plain binary).
+func WriteTraceCompressed(w io.Writer, tr *Trace) error { return trace.WriteCompressed(w, tr) }
+
+// WriteTraceJSON encodes a trace as JSON lines for consumption outside Go.
+func WriteTraceJSON(w io.Writer, tr *Trace) error { return trace.WriteJSON(w, tr) }
+
+// DefaultBaselineConfig returns the amplitude method's defaults.
+func DefaultBaselineConfig() BaselineConfig { return baseline.DefaultConfig() }
+
+// EstimateAmplitudeBaseline runs the amplitude-based method of [13] — the
+// benchmark curve in the paper's Fig. 11.
+func EstimateAmplitudeBaseline(tr *Trace, cfg BaselineConfig) (*BaselineEstimate, error) {
+	return baseline.EstimateBreathing(tr, cfg)
+}
