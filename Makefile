@@ -1,0 +1,32 @@
+GO ?= go
+
+# `make check` is the PR gate: vet, build, race-enabled tests, and a
+# one-iteration smoke pass over the performance benchmarks so a broken
+# benchmark fails fast without paying full measurement time.
+.PHONY: check
+check: vet build race bench-smoke
+
+.PHONY: vet
+vet:
+	$(GO) vet ./...
+
+.PHONY: build
+build:
+	$(GO) build ./...
+
+.PHONY: test
+test:
+	$(GO) test ./...
+
+.PHONY: race
+race:
+	$(GO) test -race ./...
+
+.PHONY: bench-smoke
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkPipelineProcess$$|BenchmarkMonitorStride$$' -benchtime 1x ./internal/core
+
+# Full benchmark run (slow): every package's benchmarks at default time.
+.PHONY: bench
+bench:
+	$(GO) test -run '^$$' -bench . ./...

@@ -21,15 +21,73 @@ func Smooth(series []float64, cfg *Config) ([]float64, error) {
 	return smoothed, nil
 }
 
-// SmoothAll applies Smooth to every subcarrier series.
+// smoothScratch holds the reusable intermediates of a ranged smoothing
+// evaluation so the monitor's steady-state loop allocates nothing here.
+type smoothScratch struct {
+	trend, detr []float64
+}
+
+// SmoothRange computes Smooth(series, cfg)[lo:hi] without evaluating the
+// rest of the series. The values are identical to the full evaluation's:
+// both Hampel passes are centered sliding windows, so sample i depends only
+// on series[i-m, i+m] with m = TrendWindow/2 + SmoothWindow/2, and the
+// strided trend's anchor grid is derived from len(series), not from the
+// requested range.
+func SmoothRange(series []float64, cfg *Config, lo, hi int) ([]float64, error) {
+	return smoothRangeInto(nil, series, cfg, lo, hi, &smoothScratch{})
+}
+
+// smoothRangeInto is SmoothRange writing into dst (grown as needed) with
+// caller-owned scratch.
+func smoothRangeInto(dst, series []float64, cfg *Config, lo, hi int, sc *smoothScratch) ([]float64, error) {
+	n := len(series)
+	if lo < 0 || hi > n || lo > hi {
+		return nil, fmt.Errorf("core: smooth range [%d, %d) outside [0, %d)", lo, hi, n)
+	}
+	// The small Hampel pass reads detrended samples up to SmoothWindow/2
+	// outside the requested range; detrend exactly that margin.
+	sh := cfg.SmoothWindow / 2
+	dlo := lo - sh
+	if dlo < 0 {
+		dlo = 0
+	}
+	dhi := hi + sh
+	if dhi > n {
+		dhi = n
+	}
+	trend, err := dsp.RunningMedianStridedRange(sc.trend, series, cfg.TrendWindow, cfg.TrendStride, dlo, dhi)
+	if err != nil {
+		return nil, fmt.Errorf("core: detrend: %w", err)
+	}
+	sc.trend = trend
+	if cap(sc.detr) < dhi-dlo {
+		sc.detr = make([]float64, dhi-dlo)
+	}
+	detr := sc.detr[:dhi-dlo]
+	for j := dlo; j < dhi; j++ {
+		detr[j-dlo] = series[j] - trend[j-dlo]
+	}
+	out, err := dsp.HampelRange(dst, detr, dlo, n, cfg.SmoothWindow, cfg.HampelThreshold, lo, hi)
+	if err != nil {
+		return nil, fmt.Errorf("core: smooth: %w", err)
+	}
+	return out, nil
+}
+
+// SmoothAll applies Smooth to every subcarrier series, fanning the
+// independent subcarriers across cfg.Parallelism workers.
 func SmoothAll(phaseDiff [][]float64, cfg *Config) ([][]float64, error) {
 	out := make([][]float64, len(phaseDiff))
-	for i, series := range phaseDiff {
-		s, err := Smooth(series, cfg)
+	err := parallelFor(len(phaseDiff), cfg.Parallelism, func(i int) error {
+		s, err := Smooth(phaseDiff[i], cfg)
 		if err != nil {
-			return nil, fmt.Errorf("subcarrier %d: %w", i, err)
+			return fmt.Errorf("subcarrier %d: %w", i, err)
 		}
 		out[i] = s
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -39,12 +97,16 @@ func SmoothAll(phaseDiff [][]float64, cfg *Config) ([][]float64, error) {
 // of the pipeline consumes.
 func Downsample(smoothed [][]float64, cfg *Config) ([][]float64, error) {
 	out := make([][]float64, len(smoothed))
-	for i, series := range smoothed {
-		d, err := dsp.Downsample(series, cfg.DownsampleFactor)
+	err := parallelFor(len(smoothed), cfg.Parallelism, func(i int) error {
+		d, err := dsp.Downsample(smoothed[i], cfg.DownsampleFactor)
 		if err != nil {
-			return nil, fmt.Errorf("subcarrier %d: %w", i, err)
+			return fmt.Errorf("subcarrier %d: %w", i, err)
 		}
 		out[i] = d
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

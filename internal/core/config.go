@@ -76,6 +76,13 @@ type Config struct {
 	MusicDecimate int
 	// MusicWindow is the temporal correlation window M.
 	MusicWindow int
+
+	// Parallelism bounds the worker goroutines used to fan the
+	// per-subcarrier stages (phase extraction, smoothing, downsampling)
+	// across cores. 0 selects GOMAXPROCS; 1 forces the serial path. The
+	// output is byte-identical for every value: workers only ever write
+	// their own subcarrier's slot.
+	Parallelism int
 }
 
 // DefaultConfig returns the paper's operating point for a 400 Hz capture.
@@ -154,6 +161,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("core: bad heart band [%v, %v]", c.HeartBandLow, c.HeartBandHigh)
 	case c.MusicDecimate < 1 || c.MusicWindow < 4:
 		return fmt.Errorf("core: bad MUSIC parameters (%d, %d)", c.MusicDecimate, c.MusicWindow)
+	case c.Parallelism < 0:
+		return fmt.Errorf("core: negative parallelism %d", c.Parallelism)
 	}
 	return nil
 }

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sync"
+
+	"phasebeat/internal/dsp"
+	"phasebeat/internal/trace"
+)
+
+// smoothMargin returns the per-edge sample margin M within which smoothed
+// values depend on samples outside the window (and therefore differ from
+// their interior, "settled" values). A smoothed sample at index i reads
+// detrended samples in [i-sh, i+sh] with sh = SmoothWindow/2; a detrended
+// sample reads the strided trend, whose interpolated value at j depends on
+// anchor medians covering roughly [j - TrendWindow/2 - TrendStride,
+// j + TrendWindow/2 + TrendStride]. The +4 is slack for the anchor grid's
+// clamped first/last anchors.
+func smoothMargin(cfg *Config) int {
+	return cfg.TrendWindow/2 + cfg.TrendStride + cfg.SmoothWindow/2 + 4
+}
+
+// subScratch is the per-worker scratch of the incremental stride loop,
+// pooled so the parallel per-subcarrier fan-out stays allocation-free.
+type subScratch struct {
+	series []float64 // linearized wrapped diff, clobbered by rotation
+	unwrap []float64 // unwrapped window series
+	sc     smoothScratch
+}
+
+// strideEngine maintains a Monitor's sliding analysis window as a true ring
+// buffer with per-packet caches, so each stride reprocesses only the new
+// tail plus the smoothing edge margin instead of the whole window.
+//
+// Exactness: the cached quantities (wrapped phase difference, its sin/cos,
+// per-antenna amplitudes) are computed with exactly the batch pipeline's
+// expressions, and the per-stride circular mean re-sums the cached sin/cos
+// in window order, so extraction is bit-identical to ExtractPhaseDifference
+// on the same window. Smoothed samples in the settled interior [M, n-M) are
+// mathematically identical across overlapping windows (the detrend cancels
+// the per-window unwrap anchor), so they are copied forward from the
+// previous stride rather than recomputed; only floating-point ulp drift of
+// the cancelled constant distinguishes them from a from-scratch batch run.
+// See DESIGN.md, "Incremental smoothing".
+type strideEngine struct {
+	cfg  *MonitorConfig
+	proc *Processor
+
+	window, stride int
+	margin         int
+	nSub           int
+	cached         bool // per-packet caches in use (incremental path)
+
+	pos       int // total packets pushed; head slot is pos % window
+	sinceLast int // packets since the last processed window
+
+	// Ring caches, indexed [subcarrier][slot] with slot = pushIndex % window.
+	diff, sinD, cosD [][]float64
+	ampA, ampB       [][]float64
+
+	// pkts is the packet ring, kept only for the full-recompute path.
+	pkts []trace.Packet
+
+	// smoothed holds the previous stride's per-subcarrier smoothed windows;
+	// next is the matrix being computed this stride (the two swap).
+	smoothed, next [][]float64
+	haveSmoothed   bool
+	prevPos        int // pos at which smoothed was computed
+
+	scratch   sync.Pool // *subScratch
+	weaker    []float64
+	eligible  []bool
+	fullTrace trace.Trace
+
+	// lastSmoothedSamples is per-subcarrier telemetry: how many samples the
+	// last stride actually smoothed (window length on the full path).
+	lastSmoothedSamples int
+}
+
+// newStrideEngine sizes the ring for cfg's window. cfg must already be
+// validated by NewMonitor.
+func newStrideEngine(cfg *MonitorConfig, proc *Processor) *strideEngine {
+	window := int(cfg.WindowSeconds * cfg.SampleRate)
+	if window < 1 {
+		window = 1
+	}
+	stride := int(cfg.UpdateEverySeconds * cfg.SampleRate)
+	if stride < 1 {
+		stride = 1
+	}
+	e := &strideEngine{
+		cfg:    cfg,
+		proc:   proc,
+		window: window,
+		stride: stride,
+		margin: smoothMargin(&proc.cfg),
+		nSub:   cfg.NumSubcarriers,
+		cached: !cfg.FullRecompute,
+	}
+	e.scratch.New = func() any { return &subScratch{} }
+	if e.cached {
+		e.diff = makeMatrix(e.nSub, window)
+		e.sinD = makeMatrix(e.nSub, window)
+		e.cosD = makeMatrix(e.nSub, window)
+		e.ampA = makeMatrix(e.nSub, window)
+		e.ampB = makeMatrix(e.nSub, window)
+		e.smoothed = makeMatrix(e.nSub, window)
+		e.next = makeMatrix(e.nSub, window)
+		e.weaker = make([]float64, e.nSub)
+		e.eligible = make([]bool, e.nSub)
+	} else {
+		e.pkts = make([]trace.Packet, window)
+	}
+	return e
+}
+
+func makeMatrix(rows, cols int) [][]float64 {
+	backing := make([]float64, rows*cols)
+	out := make([][]float64, rows)
+	for i := range out {
+		out[i] = backing[i*cols : (i+1)*cols]
+	}
+	return out
+}
+
+// push appends one packet to the ring, caching its derived per-subcarrier
+// quantities. It allocates nothing.
+func (e *strideEngine) push(p trace.Packet) {
+	slot := e.pos % e.window
+	if !e.cached {
+		e.pkts[slot] = p
+		e.pos++
+		e.sinceLast++
+		return
+	}
+	a, b := e.proc.cfg.AntennaA, e.proc.cfg.AntennaB
+	rowA, rowB := p.CSI[a], p.CSI[b]
+	for s := 0; s < e.nSub; s++ {
+		ca, cb := rowA[s], rowB[s]
+		// Same expression as batch extraction — bit-identical inputs.
+		d := dsp.WrapPhase(cmplx.Phase(ca) - cmplx.Phase(cb))
+		e.diff[s][slot] = d
+		e.sinD[s][slot] = math.Sin(d)
+		e.cosD[s][slot] = math.Cos(d)
+		e.ampA[s][slot] = cmplx.Abs(ca)
+		e.ampB[s][slot] = cmplx.Abs(cb)
+	}
+	e.pos++
+	e.sinceLast++
+}
+
+// ready reports whether a full window is buffered and at least one stride of
+// new packets arrived since the last processed window.
+func (e *strideEngine) ready() bool {
+	return e.pos >= e.window && e.sinceLast >= e.stride
+}
+
+// process runs the pipeline over the current window.
+func (e *strideEngine) process() (*Result, error) {
+	slide := e.sinceLast
+	e.sinceLast = 0
+	if !e.cached {
+		return e.processFull()
+	}
+	return e.processIncremental(slide)
+}
+
+// processFull rebuilds a linear trace from the packet ring and runs the
+// batch pipeline — the reference (and fallback) path.
+func (e *strideEngine) processFull() (*Result, error) {
+	n := e.window
+	if e.fullTrace.Packets == nil {
+		e.fullTrace = trace.Trace{
+			SampleRate:     e.cfg.SampleRate,
+			NumAntennas:    e.cfg.NumAntennas,
+			NumSubcarriers: e.cfg.NumSubcarriers,
+			Packets:        make([]trace.Packet, n),
+		}
+	}
+	start := e.pos % n
+	copy(e.fullTrace.Packets, e.pkts[start:])
+	copy(e.fullTrace.Packets[n-start:], e.pkts[:start])
+	e.lastSmoothedSamples = n
+	return e.proc.Process(&e.fullTrace)
+}
+
+// processIncremental extracts and smooths from the ring caches. When the
+// previous stride's smoothed matrix is reusable (window slid by a multiple
+// of TrendStride and the window comfortably exceeds twice the margin plus
+// the slide), only the head margin and the new tail are smoothed; otherwise
+// every subcarrier is smoothed in full — still without touching raw CSI.
+func (e *strideEngine) processIncremental(slide int) (*Result, error) {
+	n := e.window
+	pcfg := &e.proc.cfg
+	reuse := e.haveSmoothed &&
+		e.prevPos+slide == e.pos &&
+		slide%pcfg.TrendStride == 0 &&
+		n > 2*e.margin+slide
+	if reuse {
+		e.lastSmoothedSamples = 2*e.margin + slide
+	} else {
+		e.lastSmoothedSamples = n
+	}
+	start := e.pos % n
+	err := parallelFor(e.nSub, pcfg.Parallelism, func(s int) error {
+		ss := e.scratch.Get().(*subScratch)
+		defer e.scratch.Put(ss)
+		if err := e.strideSubcarrier(s, slide, start, reuse, ss); err != nil {
+			return fmt.Errorf("subcarrier %d: %w", s, err)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.smoothed, e.next = e.next, e.smoothed
+	e.haveSmoothed = true
+	e.prevPos = e.pos
+
+	// Replicate AmplitudeGate from the cached per-packet amplitudes: the
+	// window-order sums match the batch gate's packet-order sums exactly.
+	med := dsp.Median(e.weaker)
+	for s, w := range e.weaker {
+		e.eligible[s] = w >= amplitudeGateFraction*med
+	}
+	return e.proc.finishSmoothed(e.smoothed, e.eligible, e.cfg.SampleRate)
+}
+
+// strideSubcarrier updates one subcarrier for the current stride: circular
+// mean and amplitude sums from the caches, rotation + unwrap, and either a
+// ranged or a full smoothing pass into e.next[s].
+func (e *strideEngine) strideSubcarrier(s, slide, start int, reuse bool, ss *subScratch) error {
+	n := e.window
+	pcfg := &e.proc.cfg
+
+	// Sum sin/cos and amplitudes in window order — the same addition order
+	// as dsp.Circular and AmplitudeGate over a linear trace, so the results
+	// are bit-identical.
+	var sumSin, sumCos, sumA, sumB float64
+	sinD, cosD, ampA, ampB := e.sinD[s], e.cosD[s], e.ampA[s], e.ampB[s]
+	for i := start; i < n; i++ {
+		sumSin += sinD[i]
+		sumCos += cosD[i]
+		sumA += ampA[i]
+		sumB += ampB[i]
+	}
+	for i := 0; i < start; i++ {
+		sumSin += sinD[i]
+		sumCos += cosD[i]
+		sumA += ampA[i]
+		sumB += ampB[i]
+	}
+	e.weaker[s] = math.Min(sumA, sumB) / float64(n)
+	mean := math.Atan2(sumSin, sumCos)
+
+	// Linearize the wrapped diff, rotate onto the mean, unwrap.
+	if cap(ss.series) < n {
+		ss.series = make([]float64, n)
+	}
+	series := ss.series[:n]
+	copy(series, e.diff[s][start:])
+	copy(series[n-start:], e.diff[s][:start])
+	ss.unwrap = unwrapAboutMean(series, mean, ss.unwrap)
+
+	if !reuse {
+		out, err := smoothRangeInto(e.next[s][:0], ss.unwrap, pcfg, 0, n, &ss.sc)
+		if err != nil {
+			return err
+		}
+		e.next[s] = out
+		return nil
+	}
+
+	m := e.margin
+	lo := n - slide - m
+	// Head margin: edge-truncated values, recomputed every stride.
+	if _, err := smoothRangeInto(e.next[s][:0], ss.unwrap, pcfg, 0, m, &ss.sc); err != nil {
+		return err
+	}
+	// New tail plus trailing margin.
+	if _, err := smoothRangeInto(e.next[s][lo:lo], ss.unwrap, pcfg, lo, n, &ss.sc); err != nil {
+		return err
+	}
+	// Settled interior: identical to the previous stride's values shifted by
+	// the slide (both windows' dependency spans lie fully inside the data).
+	copy(e.next[s][m:lo], e.smoothed[s][m+slide:n-m])
+	return nil
+}

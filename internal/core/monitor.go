@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"phasebeat/internal/trace"
@@ -19,6 +20,9 @@ type Update struct {
 	// no stationary segment); Result may still carry the environment
 	// detection in that case.
 	Err error
+	// Dropped is the cumulative number of packets discarded by
+	// drop-on-backlog ingest at the time this update was produced.
+	Dropped uint64
 }
 
 // MonitorConfig configures a streaming Monitor.
@@ -36,6 +40,19 @@ type MonitorConfig struct {
 	WindowSeconds float64
 	// UpdateEverySeconds is the stride between successive estimates.
 	UpdateEverySeconds float64
+	// IngestBuffer is the ingest queue capacity in packets (default 1).
+	// Give drop-on-backlog monitors some headroom here so momentary
+	// processing spikes drop less.
+	IngestBuffer int
+	// DropOnBacklog makes Ingest non-blocking: when the ingest queue is
+	// full, the oldest queued packet is discarded to make room and counted
+	// in Update.Dropped. Updates are likewise replaced rather than awaited
+	// when the consumer lags. Off by default (lossless, blocking).
+	DropOnBacklog bool
+	// FullRecompute disables the incremental engine and reprocesses the
+	// whole window from raw CSI every stride — the pre-ring-buffer
+	// behavior, kept for A/B comparison and as a benchmark baseline.
+	FullRecompute bool
 }
 
 // DefaultMonitorConfig returns a realtime configuration: one-minute
@@ -55,6 +72,10 @@ func DefaultMonitorConfig() MonitorConfig {
 // Monitor consumes a live CSI packet stream and emits periodic vital-sign
 // estimates. Feed packets with Ingest; read estimates from Updates; call
 // Close to stop the worker and release resources.
+//
+// The worker holds the window in a ring buffer with cached per-packet
+// derivatives, so each stride reprocesses only the new tail plus a
+// smoothing margin (see strideEngine) instead of the whole window.
 type Monitor struct {
 	cfg       MonitorConfig
 	processor *Processor
@@ -64,6 +85,7 @@ type Monitor struct {
 	stop    chan struct{}
 	done    chan struct{}
 
+	dropped   atomic.Uint64
 	closeOnce sync.Once
 }
 
@@ -82,8 +104,14 @@ func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
 		return nil, fmt.Errorf("core: monitor window %vs / stride %vs must be positive",
 			cfg.WindowSeconds, cfg.UpdateEverySeconds)
 	}
+	if a, b := cfg.Pipeline.AntennaA, cfg.Pipeline.AntennaB; a >= cfg.NumAntennas || b >= cfg.NumAntennas || a < 0 || b < 0 {
+		return nil, fmt.Errorf("core: monitor antenna pair (%d, %d) outside [0, %d)", a, b, cfg.NumAntennas)
+	}
 	if cfg.Persons < 1 {
 		cfg.Persons = 1
+	}
+	if cfg.IngestBuffer < 1 {
+		cfg.IngestBuffer = 1
 	}
 	proc, err := NewProcessor(WithConfig(cfg.Pipeline), WithPersons(cfg.Persons))
 	if err != nil {
@@ -92,7 +120,7 @@ func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
 	m := &Monitor{
 		cfg:       cfg,
 		processor: proc,
-		in:        make(chan trace.Packet, 1),
+		in:        make(chan trace.Packet, cfg.IngestBuffer),
 		updates:   make(chan Update, 1),
 		stop:      make(chan struct{}),
 		done:      make(chan struct{}),
@@ -105,8 +133,13 @@ func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
 // stops.
 func (m *Monitor) Updates() <-chan Update { return m.updates }
 
-// Ingest submits one packet. It blocks until the worker accepts it and
-// returns false after Close.
+// Dropped returns the cumulative count of packets discarded by
+// drop-on-backlog ingest.
+func (m *Monitor) Dropped() uint64 { return m.dropped.Load() }
+
+// Ingest submits one packet and returns false after Close. Without
+// DropOnBacklog it blocks until the worker accepts the packet; with it,
+// Ingest never blocks — a full queue sheds its oldest packet instead.
 func (m *Monitor) Ingest(p trace.Packet) bool {
 	// Check for shutdown first: a closed stop channel and a free buffer
 	// slot would otherwise race in the select below.
@@ -115,11 +148,30 @@ func (m *Monitor) Ingest(p trace.Packet) bool {
 		return false
 	default:
 	}
-	select {
-	case <-m.stop:
-		return false
-	case m.in <- p:
-		return true
+	if !m.cfg.DropOnBacklog {
+		select {
+		case <-m.stop:
+			return false
+		case m.in <- p:
+			return true
+		}
+	}
+	for {
+		select {
+		case <-m.stop:
+			return false
+		case m.in <- p:
+			return true
+		default:
+		}
+		// Queue full: shed the oldest queued packet to make room for the
+		// new one. The worker may race us to it, in which case the next
+		// send attempt usually succeeds without a drop.
+		select {
+		case <-m.in:
+			m.dropped.Add(1)
+		default:
+		}
 	}
 }
 
@@ -130,59 +182,56 @@ func (m *Monitor) Close() {
 	<-m.done
 }
 
-// run is the worker loop: accumulate packets into a ring of the window
-// size and process every stride.
+// run is the worker loop: push packets into the stride engine and emit an
+// update whenever a full window plus a stride of new data is buffered.
 func (m *Monitor) run() {
 	defer close(m.done)
 	defer close(m.updates)
 
-	windowPackets := int(m.cfg.WindowSeconds * m.cfg.SampleRate)
-	stridePackets := int(m.cfg.UpdateEverySeconds * m.cfg.SampleRate)
-	if windowPackets < 1 {
-		windowPackets = 1
-	}
-	if stridePackets < 1 {
-		stridePackets = 1
-	}
-	buf := make([]trace.Packet, 0, windowPackets)
-	sinceLast := 0
-
+	engine := newStrideEngine(&m.cfg, m.processor)
 	for {
 		select {
 		case <-m.stop:
 			return
 		case p := <-m.in:
-			buf = append(buf, p)
-			if len(buf) > windowPackets {
-				buf = buf[len(buf)-windowPackets:]
-			}
-			sinceLast++
-			if len(buf) < windowPackets || sinceLast < stridePackets {
+			engine.push(p)
+			if !engine.ready() {
 				continue
 			}
-			sinceLast = 0
-			update := m.processWindow(buf)
-			select {
-			case m.updates <- update:
-			case <-m.stop:
+			res, err := engine.process()
+			u := Update{Time: p.Time, Result: res, Err: err, Dropped: m.dropped.Load()}
+			if !m.deliver(u) {
 				return
 			}
 		}
 	}
 }
 
-// processWindow runs the batch pipeline on the current buffer.
-func (m *Monitor) processWindow(buf []trace.Packet) Update {
-	packets := make([]trace.Packet, len(buf))
-	copy(packets, buf)
-	tr := &trace.Trace{
-		SampleRate:     m.cfg.SampleRate,
-		NumAntennas:    m.cfg.NumAntennas,
-		NumSubcarriers: m.cfg.NumSubcarriers,
-		Packets:        packets,
+// deliver hands one update to the consumer. In drop-on-backlog mode a
+// stale undelivered update is replaced by the new one instead of blocking
+// the worker.
+func (m *Monitor) deliver(u Update) bool {
+	if !m.cfg.DropOnBacklog {
+		select {
+		case m.updates <- u:
+			return true
+		case <-m.stop:
+			return false
+		}
 	}
-	res, err := m.processor.Process(tr)
-	return Update{Time: packets[len(packets)-1].Time, Result: res, Err: err}
+	for {
+		select {
+		case <-m.stop:
+			return false
+		case m.updates <- u:
+			return true
+		default:
+		}
+		select {
+		case <-m.updates:
+		default:
+		}
+	}
 }
 
 // DrainFor reads updates for at most d, returning those received. It is a

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelFor runs fn(i) for every i in [0, n) across at most workers
+// goroutines (0 → GOMAXPROCS), the same bounded fan-out pattern the eval
+// harness uses for trials. Work is handed out through an atomic counter so
+// tasks of uneven cost balance across workers.
+//
+// Determinism: fn must write only to state owned by its own index; under
+// that contract the results are byte-identical for every worker count.
+// Errors are collected per index and the lowest-index error is returned,
+// matching what a serial loop would report.
+func parallelFor(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"phasebeat/internal/csisim"
+	"phasebeat/internal/trace"
+)
+
+// BenchmarkPipelineProcess measures batch pipeline throughput in
+// packets/sec over a one-minute default-rate trace, serial versus fanned
+// across every core. On a single-core runner the two are expected to tie.
+func BenchmarkPipelineProcess(b *testing.B) {
+	sim, err := csisim.FixedRatesScenario([]float64{17}, 33)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := sim.Generate(60)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		workers int
+	}{
+		{"parallelism-1", 1},
+		{fmt.Sprintf("parallelism-%d", runtime.GOMAXPROCS(0)), 0},
+	}
+	for _, bc := range cases {
+		b.Run(bc.name, func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.Parallelism = bc.workers
+			proc, err := NewProcessor(WithConfig(cfg), WithPersons(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := proc.Process(tr); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(tr.Len())*float64(b.N)/b.Elapsed().Seconds(), "packets/sec")
+		})
+	}
+}
+
+// BenchmarkMonitorStride measures one streaming stride at the default
+// monitor operating point (60 s window, 5 s stride, 400 Hz): the
+// incremental ring-buffer engine against the from-scratch full-recompute
+// baseline. The samples/stride metric is the per-subcarrier count of
+// samples actually smoothed — the acceptance criterion is that the
+// incremental engine processes at least 5× fewer.
+func BenchmarkMonitorStride(b *testing.B) {
+	cfg := DefaultMonitorConfig()
+	window := int(cfg.WindowSeconds * cfg.SampleRate)
+	stride := int(cfg.UpdateEverySeconds * cfg.SampleRate)
+
+	// Pre-generate a pool covering the window plus several strides; the
+	// benchmark loop cycles through it. The wrap-around discontinuity can
+	// make a window look non-stationary, so pipeline errors are tolerated —
+	// the measured smoothing work is identical either way.
+	sim, err := csisim.FixedRatesScenario([]float64{17}, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := make([]trace.Packet, window+16*stride)
+	for i := range pool {
+		pool[i] = sim.NextPacket()
+	}
+
+	modes := []struct {
+		name string
+		full bool
+	}{
+		{"incremental", false},
+		{"full-recompute", true},
+	}
+	for _, mode := range modes {
+		b.Run(mode.name, func(b *testing.B) {
+			c := cfg
+			c.FullRecompute = mode.full
+			proc, err := NewProcessor(WithConfig(c.Pipeline), WithPersons(c.Persons))
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng := newStrideEngine(&c, proc)
+			idx := 0
+			next := func() trace.Packet {
+				p := pool[idx]
+				idx++
+				if idx == len(pool) {
+					idx = 0
+				}
+				return p
+			}
+			for i := 0; i < window; i++ {
+				eng.push(next())
+			}
+			if _, err := eng.process(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for k := 0; k < stride; k++ {
+					eng.push(next())
+				}
+				eng.process()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(stride)*float64(b.N)/b.Elapsed().Seconds(), "packets/sec")
+			b.ReportMetric(float64(eng.lastSmoothedSamples), "samples/stride")
+		})
+	}
+}

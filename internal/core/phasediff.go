@@ -25,6 +25,12 @@ var ErrNotStationary = errors.New("core: no stationary segment")
 // of eq. (6), Δ∠CSI_i = ∠CSI_i^(a) − ∠CSI_i^(b), unwrapped over time.
 // The result is indexed [subcarrier][packet].
 func ExtractPhaseDifference(tr *trace.Trace, antennaA, antennaB int) ([][]float64, error) {
+	return extractPhaseDifference(tr, antennaA, antennaB, 0)
+}
+
+// extractPhaseDifference fans the independent subcarriers across workers
+// goroutines (see parallelFor).
+func extractPhaseDifference(tr *trace.Trace, antennaA, antennaB, workers int) ([][]float64, error) {
 	if tr == nil || tr.Len() == 0 {
 		return nil, fmt.Errorf("%w: empty trace", ErrNoData)
 	}
@@ -37,7 +43,7 @@ func ExtractPhaseDifference(tr *trace.Trace, antennaA, antennaB int) ([][]float6
 	nSub := tr.NumSubcarriers
 	nPkt := tr.Len()
 	out := make([][]float64, nSub)
-	for s := 0; s < nSub; s++ {
+	err := parallelFor(nSub, workers, func(s int) error {
 		series := make([]float64, nPkt)
 		for k, p := range tr.Packets {
 			series[k] = dsp.WrapPhase(cmplx.Phase(p.CSI[antennaA][s]) - cmplx.Phase(p.CSI[antennaB][s]))
@@ -48,16 +54,28 @@ func ExtractPhaseDifference(tr *trace.Trace, antennaA, antennaB int) ([][]float6
 		// back and forth, turning the unwrapped series into a random walk
 		// that floods the breathing band.
 		mean := dsp.Circular(series).Mean
-		for k, v := range series {
-			series[k] = dsp.WrapPhase(v - mean)
-		}
-		unwrapped := dsp.UnwrapPhase(series)
-		for k := range unwrapped {
-			unwrapped[k] += mean
-		}
-		out[s] = unwrapped
+		out[s] = unwrapAboutMean(series, mean, nil)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// unwrapAboutMean rotates the wrapped series onto mean, unwraps it into dst
+// (grown as needed; must not alias series), and shifts the mean back — the
+// exact operation sequence of batch extraction, shared with the incremental
+// monitor so both produce bit-identical samples. series is clobbered.
+func unwrapAboutMean(series []float64, mean float64, dst []float64) []float64 {
+	for k, v := range series {
+		series[k] = dsp.WrapPhase(v - mean)
+	}
+	dst = dsp.UnwrapPhaseInto(dst, series)
+	for k := range dst {
+		dst[k] += mean
+	}
+	return dst
 }
 
 // ExtractRawPhase returns the unwrapped single-antenna phase per

@@ -71,6 +71,31 @@ func NewProcessor(opts ...Option) (*Processor, error) {
 // Config returns a copy of the processor configuration.
 func (p *Processor) Config() Config { return p.cfg }
 
+// amplitudeGateFraction is the AmplitudeGate threshold fraction shared by
+// the batch pipeline and the streaming monitor (which replicates the gate
+// from cached per-packet amplitudes).
+const amplitudeGateFraction = 0.3
+
+// filterEligible returns the rows of series whose eligible flag is set. A
+// nil mask keeps everything; if the mask would reject every row, the input
+// is returned unchanged (an all-ineligible gate must not starve downstream
+// stages).
+func filterEligible(series [][]float64, eligible []bool) [][]float64 {
+	if eligible == nil {
+		return series
+	}
+	kept := make([][]float64, 0, len(series))
+	for i, s := range series {
+		if i < len(eligible) && eligible[i] {
+			kept = append(kept, s)
+		}
+	}
+	if len(kept) == 0 {
+		return series
+	}
+	return kept
+}
+
 // Process runs the full pipeline on a trace: extraction → smoothing →
 // environment detection → stationary-segment selection → downsampling →
 // subcarrier selection → DWT → rate estimation.
@@ -78,7 +103,7 @@ func (p *Processor) Process(tr *trace.Trace) (*Result, error) {
 	if tr == nil || tr.Len() == 0 {
 		return nil, fmt.Errorf("%w: empty trace", ErrNoData)
 	}
-	phaseDiff, err := ExtractPhaseDifference(tr, p.cfg.AntennaA, p.cfg.AntennaB)
+	phaseDiff, err := extractPhaseDifference(tr, p.cfg.AntennaA, p.cfg.AntennaB, p.cfg.Parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -91,19 +116,16 @@ func (p *Processor) Process(tr *trace.Trace) (*Result, error) {
 	// Amplitude SNR gate: subcarriers in a deep fade on either antenna
 	// carry noise-dominated phase. They are excluded from the V statistic,
 	// the sensitivity ranking and the root-MUSIC snapshots alike.
-	eligible := AmplitudeGate(tr, p.cfg.AntennaA, p.cfg.AntennaB, 0.3)
-	envInput := smoothed
-	if eligible != nil {
-		envInput = make([][]float64, 0, len(smoothed))
-		for i, series := range smoothed {
-			if i < len(eligible) && eligible[i] {
-				envInput = append(envInput, series)
-			}
-		}
-		if len(envInput) == 0 {
-			envInput = smoothed
-		}
-	}
+	eligible := AmplitudeGate(tr, p.cfg.AntennaA, p.cfg.AntennaB, amplitudeGateFraction)
+	return p.finishSmoothed(smoothed, eligible, tr.SampleRate)
+}
+
+// finishSmoothed runs everything downstream of smoothing — environment
+// detection, stationary-segment selection, downsampling, subcarrier
+// selection, DWT, and rate estimation — so the batch Processor and the
+// incremental Monitor share one implementation from this point on.
+func (p *Processor) finishSmoothed(smoothed [][]float64, eligible []bool, sampleRate float64) (*Result, error) {
+	envInput := filterEligible(smoothed, eligible)
 
 	env, err := DetectEnvironment(envInput, p.cfg.EnvWindow, p.cfg.EnvMinV, p.cfg.EnvMaxV)
 	if err != nil {
@@ -131,7 +153,7 @@ func (p *Processor) Process(tr *trace.Trace) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	estRate := tr.SampleRate / float64(p.cfg.DownsampleFactor)
+	estRate := sampleRate / float64(p.cfg.DownsampleFactor)
 
 	sel, err := SelectSubcarrier(calibrated, p.cfg.TopK, eligible)
 	if err != nil {
@@ -162,15 +184,7 @@ func (p *Processor) Process(tr *trace.Trace) (*Result, error) {
 		breathingHz = breathing.RateBPM / 60
 	} else {
 		// Feed root-MUSIC only the SNR-gated subcarrier series.
-		musicInput := calibrated
-		if sel.Eligible != nil {
-			musicInput = make([][]float64, 0, len(calibrated))
-			for i, series := range calibrated {
-				if sel.Eligible[i] {
-					musicInput = append(musicInput, series)
-				}
-			}
-		}
+		musicInput := filterEligible(calibrated, sel.Eligible)
 		multi, err := EstimateBreathingMultiRootMUSIC(musicInput, estRate, p.nPersons, &p.cfg)
 		if err != nil {
 			return res, fmt.Errorf("multi-person estimation: %w", err)

@@ -11,6 +11,7 @@ import (
 	"math"
 	"math/bits"
 	"math/cmplx"
+	"sync"
 )
 
 // ErrEmptyInput reports an operation on an empty signal.
@@ -110,6 +111,28 @@ func radix2(x []complex128, inverse bool) {
 	}
 }
 
+// complexScratchPool recycles the pure-scratch buffers of the Bluestein
+// transform (and the padded spectrum path) so repeated FFTs of the same
+// sizes allocate nothing at steady state.
+var complexScratchPool = sync.Pool{New: func() any { return new([]complex128) }}
+
+// getComplexScratch returns a pooled length-n complex slice with undefined
+// contents (callers overwrite or zero it) plus the handle to return via
+// putComplexScratch.
+func getComplexScratch(n int) (*[]complex128, []complex128) {
+	p := complexScratchPool.Get().(*[]complex128)
+	s := *p
+	if cap(s) < n {
+		s = make([]complex128, n)
+	} else {
+		s = s[:n]
+	}
+	*p = s
+	return p, s
+}
+
+func putComplexScratch(p *[]complex128) { complexScratchPool.Put(p) }
+
 // bluestein computes an arbitrary-length DFT via the chirp-z transform,
 // expressing it as a convolution evaluated with power-of-two FFTs.
 func bluestein(x []complex128, inverse bool) {
@@ -119,14 +142,23 @@ func bluestein(x []complex128, inverse bool) {
 		sign = 1.0
 	}
 	// Chirp: w[k] = exp(sign·iπk²/n). Use k² mod 2n to avoid float blowup.
-	chirp := make([]complex128, n)
+	chirpP, chirp := getComplexScratch(n)
+	defer putComplexScratch(chirpP)
 	for k := 0; k < n; k++ {
 		kk := (int64(k) * int64(k)) % int64(2*n)
 		chirp[k] = cmplx.Rect(1, sign*math.Pi*float64(kk)/float64(n))
 	}
 	m := NextPowerOfTwo(2*n - 1)
-	a := make([]complex128, m)
-	b := make([]complex128, m)
+	aP, a := getComplexScratch(m)
+	defer putComplexScratch(aP)
+	bP, b := getComplexScratch(m)
+	defer putComplexScratch(bP)
+	for i := range a {
+		a[i] = 0
+	}
+	for i := range b {
+		b[i] = 0
+	}
 	for k := 0; k < n; k++ {
 		a[k] = x[k] * chirp[k]
 		b[k] = cmplx.Conj(chirp[k])

@@ -3,6 +3,7 @@ package dsp
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // hampelScale converts a median absolute deviation to an estimate of the
@@ -19,16 +20,27 @@ const hampelScale = 1.4826
 // trend (the tiny threshold replaces nearly every sample with the local
 // median) and Hampel(x, 50, 0.01) as a high-frequency smoother.
 func Hampel(x []float64, window int, nsigma float64) ([]float64, error) {
+	return HampelInto(nil, x, window, nsigma)
+}
+
+// HampelInto is Hampel writing into dst (grown as needed), reusing pooled
+// filter state so the steady-state cost is allocation-free when dst has
+// capacity. It returns the filtered slice.
+func HampelInto(dst, x []float64, window int, nsigma float64) ([]float64, error) {
 	if window <= 0 {
 		return nil, fmt.Errorf("dsp: Hampel window must be positive, got %d", window)
 	}
 	if len(x) == 0 {
-		return nil, nil
+		if dst == nil {
+			return nil, nil
+		}
+		return dst[:0], nil
 	}
-	half := window / 2
-	out := make([]float64, len(x))
-	med := newMedianWindow(window + 1)
+	out := growFloats(dst, len(x))
+	med := getMedianWindow(window + 1)
+	defer putMedianWindow(med)
 
+	half := window / 2
 	// Prime the window for index 0.
 	hi := half
 	if hi >= len(x) {
@@ -57,6 +69,83 @@ func Hampel(x []float64, window int, nsigma float64) ([]float64, error) {
 		}
 	}
 	return out, nil
+}
+
+// HampelRange computes the same values Hampel(x, window, nsigma) would
+// produce for the index range [lo, hi) of a length-n signal, without needing
+// the whole signal: view holds x[viewStart : viewStart+len(view)] and must
+// cover every sample the centered windows of [lo, hi) touch, i.e.
+// [max(0, lo-window/2), min(n, hi+window/2)). Output index i of the result
+// corresponds to signal index lo+i. The values are identical to the full
+// filter's because a sample's output depends only on its centered window.
+func HampelRange(dst, view []float64, viewStart, n, window int, nsigma float64, lo, hi int) ([]float64, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("dsp: Hampel window must be positive, got %d", window)
+	}
+	if lo < 0 || hi > n || lo > hi {
+		return nil, fmt.Errorf("dsp: Hampel range [%d, %d) outside [0, %d)", lo, hi, n)
+	}
+	if lo == hi {
+		return growFloats(dst, 0), nil
+	}
+	half := window / 2
+	needLo := lo - half
+	if needLo < 0 {
+		needLo = 0
+	}
+	needHi := hi + half
+	if needHi > n {
+		needHi = n
+	}
+	if viewStart > needLo || viewStart+len(view) < needHi {
+		return nil, fmt.Errorf("dsp: Hampel view [%d, %d) does not cover needed [%d, %d)",
+			viewStart, viewStart+len(view), needLo, needHi)
+	}
+	at := func(i int) float64 { return view[i-viewStart] }
+	out := growFloats(dst, hi-lo)
+	med := getMedianWindow(window + 1)
+	defer putMedianWindow(med)
+
+	// Prime the window for index lo; it then slides exactly as in Hampel.
+	first := lo - half
+	if first < 0 {
+		first = 0
+	}
+	last := lo + half
+	if last >= n {
+		last = n - 1
+	}
+	for i := first; i <= last; i++ {
+		med.push(at(i))
+	}
+	for i := lo; i < hi; i++ {
+		if i > lo {
+			if r := i + half; r < n {
+				med.push(at(r))
+			}
+			if l := i - half - 1; l >= first {
+				med.remove(at(l))
+			}
+		}
+		m := med.median()
+		mad := med.mad(m)
+		sigma := hampelScale * mad
+		if math.Abs(at(i)-m) > nsigma*sigma {
+			out[i-lo] = m
+		} else {
+			out[i-lo] = at(i)
+		}
+	}
+	return out, nil
+}
+
+// growFloats returns dst resized to n, reallocating only when capacity is
+// insufficient.
+func growFloats(dst []float64, n int) []float64 {
+	if cap(dst) < n {
+		return make([]float64, n)
+	}
+	return dst[:n]
 }
 
 // HampelTrend returns the sliding-window median of x — the "basic trend"
@@ -91,22 +180,76 @@ func RunningMedianStrided(x []float64, window, stride int) ([]float64, error) {
 	if n == 0 {
 		return nil, nil
 	}
+	out, err := RunningMedianStridedRange(nil, x, window, stride, 0, n)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RunningMedianStridedRange computes the same values
+// RunningMedianStrided(x, window, stride) would produce for indices [lo, hi)
+// of x, writing them into dst (grown as needed). Output index i corresponds
+// to signal index lo+i. Anchor positions are derived from the full signal
+// length, so a sub-range evaluation matches the full evaluation exactly —
+// the invariant the incremental Monitor relies on.
+func RunningMedianStridedRange(dst, x []float64, window, stride, lo, hi int) ([]float64, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("dsp: median window must be positive, got %d", window)
+	}
+	if stride <= 0 {
+		return nil, fmt.Errorf("dsp: stride must be positive, got %d", stride)
+	}
+	n := len(x)
+	if lo < 0 || hi > n || lo > hi {
+		return nil, fmt.Errorf("dsp: median range [%d, %d) outside [0, %d)", lo, hi, n)
+	}
+	if lo == hi {
+		return growFloats(dst, 0), nil
+	}
 	half := window / 2
-	// Anchor medians at 0, stride, …, and always at the last index.
+	// Anchor medians at 0, stride, …, and always at the last index — the
+	// same grid the full evaluation uses.
 	nAnchors := (n-1)/stride + 1
 	lastAnchor := (nAnchors - 1) * stride
 	if lastAnchor != n-1 {
 		nAnchors++
 	}
-	anchorIdx := make([]int, nAnchors)
-	anchorVal := make([]float64, nAnchors)
-	med := newMedianWindow(window + stride + 2)
-	winLo, winHi := 0, -1 // current window span [winLo, winHi]
-	for a := 0; a < nAnchors; a++ {
+	anchorAt := func(a int) int {
 		i := a * stride
 		if i > n-1 {
 			i = n - 1
 		}
+		return i
+	}
+	// Interpolating output i uses anchors seg(i) and seg(i)+1 where seg(i)
+	// is the last anchor strictly before i (clamped to 0). Evaluate medians
+	// only for the anchors the range [lo, hi) touches.
+	segOf := func(i int) int {
+		seg := 0
+		for seg < nAnchors-1 && anchorAt(seg+1) < i {
+			seg++
+		}
+		return seg
+	}
+	aFrom := segOf(lo)
+	aTo := segOf(hi-1) + 1
+	if aTo > nAnchors-1 {
+		aTo = nAnchors - 1
+	}
+	anchorVal := make([]float64, aTo-aFrom+1)
+	med := getMedianWindow(window + stride + 2)
+	defer putMedianWindow(med)
+	// Prime the multiset for the first needed anchor, then slide across the
+	// rest; the window content at each anchor is identical to the full
+	// evaluation's, so the medians are bit-identical.
+	winLo := anchorAt(aFrom) - half
+	if winLo < 0 {
+		winLo = 0
+	}
+	winHi := winLo - 1
+	for a := aFrom; a <= aTo; a++ {
+		i := anchorAt(a)
 		newLo := i - half
 		if newLo < 0 {
 			newLo = 0
@@ -123,22 +266,21 @@ func RunningMedianStrided(x []float64, window, stride int) ([]float64, error) {
 			med.remove(x[winLo])
 			winLo++
 		}
-		anchorIdx[a] = i
-		anchorVal[a] = med.median()
+		anchorVal[a-aFrom] = med.median()
 	}
-	out := make([]float64, n)
-	seg := 0
-	for i := 0; i < n; i++ {
-		for seg < nAnchors-1 && anchorIdx[seg+1] < i {
+	out := growFloats(dst, hi-lo)
+	seg := aFrom
+	for i := lo; i < hi; i++ {
+		for seg < nAnchors-1 && anchorAt(seg+1) < i {
 			seg++
 		}
-		if seg == nAnchors-1 || anchorIdx[seg] == i {
-			out[i] = anchorVal[seg]
+		if seg == nAnchors-1 || anchorAt(seg) == i {
+			out[i-lo] = anchorVal[seg-aFrom]
 			continue
 		}
-		i0, i1 := anchorIdx[seg], anchorIdx[seg+1]
+		i0, i1 := anchorAt(seg), anchorAt(seg+1)
 		frac := float64(i-i0) / float64(i1-i0)
-		out[i] = anchorVal[seg]*(1-frac) + anchorVal[seg+1]*frac
+		out[i-lo] = anchorVal[seg-aFrom]*(1-frac) + anchorVal[seg+1-aFrom]*frac
 	}
 	return out, nil
 }
@@ -158,6 +300,25 @@ func newMedianWindow(capacity int) *medianWindow {
 		scratch: make([]float64, 0, capacity),
 	}
 }
+
+// medianWindowPool recycles filter state across calls so the Hampel-heavy
+// hot paths (batch calibration, the incremental monitor) stay allocation-free
+// at steady state.
+var medianWindowPool = sync.Pool{New: func() any { return new(medianWindow) }}
+
+func getMedianWindow(capacity int) *medianWindow {
+	w := medianWindowPool.Get().(*medianWindow)
+	if cap(w.sorted) < capacity {
+		w.sorted = make([]float64, 0, capacity)
+		w.scratch = make([]float64, 0, capacity)
+	} else {
+		w.sorted = w.sorted[:0]
+		w.scratch = w.scratch[:0]
+	}
+	return w
+}
+
+func putMedianWindow(w *medianWindow) { medianWindowPool.Put(w) }
 
 func (w *medianWindow) push(v float64) {
 	i := lowerBound(w.sorted, v)

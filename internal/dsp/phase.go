@@ -20,7 +20,14 @@ func WrapPhase(theta float64) float64 {
 // UnwrapPhase removes 2π jumps from a phase sequence, producing a
 // continuous signal. The first sample is preserved.
 func UnwrapPhase(phase []float64) []float64 {
-	out := make([]float64, len(phase))
+	return UnwrapPhaseInto(nil, phase)
+}
+
+// UnwrapPhaseInto is UnwrapPhase writing into dst (grown as needed). dst
+// must not alias phase: the unwrap reads each input sample after its
+// predecessor's output has been written.
+func UnwrapPhaseInto(dst, phase []float64) []float64 {
+	out := growFloats(dst, len(phase))
 	if len(phase) == 0 {
 		return out
 	}

@@ -6,12 +6,19 @@ import "fmt"
 // anti-alias filtering — PhaseBeat downsamples after Hampel smoothing has
 // already removed high-frequency content (400 Hz → 20 Hz with factor 20).
 func Downsample(x []float64, factor int) ([]float64, error) {
+	return DownsampleInto(nil, x, factor)
+}
+
+// DownsampleInto is Downsample writing into dst (grown as needed), so hot
+// loops can reuse one output buffer across calls.
+func DownsampleInto(dst, x []float64, factor int) ([]float64, error) {
 	if factor <= 0 {
 		return nil, fmt.Errorf("dsp: downsample factor must be positive, got %d", factor)
 	}
-	out := make([]float64, 0, (len(x)+factor-1)/factor)
-	for i := 0; i < len(x); i += factor {
-		out = append(out, x[i])
+	n := (len(x) + factor - 1) / factor
+	out := growFloats(dst, n)
+	for i, j := 0, 0; i < len(x); i, j = i+factor, j+1 {
+		out[j] = x[i]
 	}
 	return out, nil
 }

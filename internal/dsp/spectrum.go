@@ -32,10 +32,19 @@ func MagnitudeSpectrum(x []float64, fs float64, padTo int) (*Spectrum, error) {
 	}
 	n := len(x)
 	if padTo > n {
-		x = ZeroPad(x, padTo)
 		n = padTo
 	}
-	bins := FFTReal(x)
+	// Transform in pooled scratch: zero-padding and the full-length bins are
+	// internal to this call, so neither needs a fresh allocation.
+	binsP, bins := getComplexScratch(n)
+	defer putComplexScratch(binsP)
+	for i, v := range x {
+		bins[i] = complex(v, 0)
+	}
+	for i := len(x); i < n; i++ {
+		bins[i] = 0
+	}
+	fftInPlace(bins, false)
 	half := n/2 + 1
 	sp := &Spectrum{
 		Freqs:   make([]float64, half),
