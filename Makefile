@@ -1,10 +1,11 @@
 GO ?= go
 
-# `make check` is the PR gate: vet, build, race-enabled tests, and a
+# `make check` is the PR gate: vet, build, race-enabled tests, a
 # one-iteration smoke pass over the performance benchmarks so a broken
-# benchmark fails fast without paying full measurement time.
+# benchmark fails fast without paying full measurement time, and a
+# coverage report over the pipeline package.
 .PHONY: check
-check: vet build race bench-smoke
+check: vet build race bench-smoke cover
 
 .PHONY: vet
 vet:
@@ -21,6 +22,12 @@ test:
 .PHONY: race
 race:
 	$(GO) test -race ./...
+
+# Statement coverage of the pipeline package, the tier the stage graph
+# and estimator registry live in.
+.PHONY: cover
+cover:
+	$(GO) test -cover ./internal/core
 
 .PHONY: bench-smoke
 bench-smoke:

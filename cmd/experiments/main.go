@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-trials N] [-duration S] [-seed N] [-list] [fig11 fig12 ...]
+//	experiments [-trials N] [-duration S] [-seed N] [-estimator name] [-stage-timings] [-list] [fig11 fig12 ...]
 //
 // With no figure names, every experiment runs in order.
 package main
@@ -15,6 +15,7 @@ import (
 	"os"
 	"time"
 
+	"phasebeat"
 	"phasebeat/internal/eval"
 )
 
@@ -31,6 +32,8 @@ func run(args []string) error {
 	duration := fs.Float64("duration", 0, "per-trial capture seconds (0 = 60)")
 	seed := fs.Int64("seed", 0, "base random seed")
 	parallel := fs.Int("parallel", 0, "max parallel trials (0 = GOMAXPROCS)")
+	estimator := fs.String("estimator", "", "breathing estimator backend for every trial (empty = person-count dispatch)")
+	stageTimings := fs.Bool("stage-timings", false, "print aggregated per-stage pipeline durations after each experiment")
 	list := fs.Bool("list", false, "list available experiments and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -48,6 +51,7 @@ func run(args []string) error {
 		DurationS:   *duration,
 		Seed:        *seed,
 		Parallelism: *parallel,
+		Estimator:   *estimator,
 	}
 
 	selected := fs.Args()
@@ -68,6 +72,11 @@ func run(args []string) error {
 		if i > 0 {
 			fmt.Println()
 		}
+		var timings *phasebeat.TimingObserver
+		if *stageTimings {
+			timings = phasebeat.NewTimingObserver()
+			opts.Observer = timings
+		}
 		start := time.Now()
 		rep, err := e.Run(opts)
 		if err != nil {
@@ -75,6 +84,9 @@ func run(args []string) error {
 			continue
 		}
 		fmt.Print(rep.String())
+		if timings != nil {
+			fmt.Print(timings.Table())
+		}
 		fmt.Printf("(%s in %.1fs)\n", e.Name, time.Since(start).Seconds())
 	}
 	return nil

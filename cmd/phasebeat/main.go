@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	phasebeat -in trace.pbtr [-persons 1] [-verbose]
+//	phasebeat -in trace.pbtr [-persons 1] [-verbose] [-estimator peaks] [-stage-timings]
 //	phasebeat -simulate [-scenario lab] [-duration 60] [-seed 1] [-persons 1]
 package main
 
@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"phasebeat"
 )
@@ -36,8 +37,16 @@ func run(args []string) error {
 	persons := fs.Int("persons", 1, "monitored person count")
 	verbose := fs.Bool("verbose", false, "print pipeline diagnostics")
 	watch := fs.Float64("watch", 0, "realtime mode: stream a simulated scene for this many seconds, printing periodic estimates")
+	estimator := fs.String("estimator", "", "breathing estimator backend: "+
+		strings.Join(phasebeat.BreathingEstimators(), ", ")+" (empty = person-count dispatch)")
+	stageTimings := fs.Bool("stage-timings", false, "print per-stage pipeline durations")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var timings *phasebeat.TimingObserver
+	if *stageTimings {
+		timings = phasebeat.NewTimingObserver()
 	}
 
 	if *watch > 0 {
@@ -51,7 +60,7 @@ func run(args []string) error {
 			NumPersons:    *persons,
 			DirectionalTx: *directional,
 			Seed:          *seed,
-		}, *watch, *persons)
+		}, *watch, *persons, *estimator, timings)
 	}
 
 	var (
@@ -85,6 +94,11 @@ func run(args []string) error {
 	}
 
 	cfg := phasebeat.ConfigForRate(tr.SampleRate)
+	cfg.Estimator = *estimator
+	if timings != nil {
+		cfg.Observer = timings
+		defer func() { fmt.Print(timings.Table()) }()
+	}
 	res, err := phasebeat.ProcessTrace(tr,
 		phasebeat.WithConfig(cfg), phasebeat.WithPersons(*persons))
 	if err != nil {
@@ -162,7 +176,7 @@ func readTraceFile(path string) (*phasebeat.Trace, error) {
 
 // watchScene streams a simulated scene through a Monitor, printing each
 // periodic estimate — the realtime deployment shape.
-func watchScene(sc phasebeat.Scenario, seconds float64, persons int) error {
+func watchScene(sc phasebeat.Scenario, seconds float64, persons int, estimator string, timings *phasebeat.TimingObserver) error {
 	sim, err := phasebeat.NewSimulator(sc)
 	if err != nil {
 		return err
@@ -171,6 +185,11 @@ func watchScene(sc phasebeat.Scenario, seconds float64, persons int) error {
 	cfg.Persons = persons
 	cfg.WindowSeconds = 40
 	cfg.UpdateEverySeconds = 10
+	cfg.Pipeline.Estimator = estimator
+	if timings != nil {
+		cfg.Pipeline.Observer = timings
+		defer func() { fmt.Print(timings.Table()) }()
+	}
 	m, err := phasebeat.NewMonitor(cfg)
 	if err != nil {
 		return err

@@ -54,6 +54,24 @@ func TestRunValidation(t *testing.T) {
 	if err := run([]string{"-simulate", "-scenario", "bogus"}); err == nil {
 		t.Error("want error for unknown scenario")
 	}
+	if err := run([]string{"-simulate", "-estimator", "bogus"}); err == nil {
+		t.Error("want error for unknown estimator backend")
+	}
+}
+
+func TestRunEstimatorAndStageTimings(t *testing.T) {
+	path := writeTestTrace(t)
+	for _, estimator := range phasebeat.BreathingEstimators() {
+		if err := run([]string{"-in", path, "-estimator", estimator, "-stage-timings"}); err != nil {
+			t.Errorf("run -estimator %s: %v", estimator, err)
+		}
+	}
+}
+
+func TestRunWatchStageTimings(t *testing.T) {
+	if err := run([]string{"-watch", "42", "-seed", "8", "-stage-timings"}); err != nil {
+		t.Fatalf("run -watch -stage-timings: %v", err)
+	}
 }
 
 func TestOneBased(t *testing.T) {

@@ -29,6 +29,18 @@ func main() {
 	fmt.Println("root-MUSIC (bpm):", formatRates(res.MultiPerson.RatesBPM))
 	fmt.Printf("method: %s over %d calibrated subcarrier series\n",
 		res.MultiPerson.Method, len(res.Calibrated))
+
+	// ESPRIT resolves the same three rates from the rotational invariance
+	// of the signal subspace — no polynomial rooting, a useful cross-check
+	// on the root-MUSIC spectrum.
+	cfg := phasebeat.DefaultConfig()
+	cfg.Estimator = "esprit"
+	res, err = phasebeat.ProcessTrace(tr,
+		phasebeat.WithConfig(cfg), phasebeat.WithPersons(len(rates)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("ESPRIT (bpm):    ", formatRates(res.MultiPerson.RatesBPM))
 }
 
 func truthRates(truth []phasebeat.VitalTruth) []float64 {

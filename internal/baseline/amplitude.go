@@ -53,6 +53,29 @@ func DefaultConfig() Config {
 	}
 }
 
+// ConfigForRate adapts the 400 Hz defaults to another capture rate,
+// scaling the raw-rate windows and the downsample factor so the
+// estimation rate stays near 20 Hz — the amplitude-method counterpart of
+// the core pipeline's ConfigForRate.
+func ConfigForRate(sampleRate float64) Config {
+	cfg := DefaultConfig()
+	if sampleRate <= 0 {
+		return cfg
+	}
+	scale := sampleRate / 400.0
+	cfg.HampelWindow = maxInt(3, int(50*scale))
+	cfg.SmoothWindow = maxInt(3, int(80*scale))
+	cfg.DownsampleFactor = maxInt(1, int(sampleRate/20.0))
+	return cfg
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
 // Estimate is the amplitude method's output.
 type Estimate struct {
 	// BreathingBPM is the estimated breathing rate.

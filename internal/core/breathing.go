@@ -155,6 +155,34 @@ func EstimateBreathingMultiRootMUSIC(calibrated [][]float64, fs float64, nPerson
 	return &MultiPersonEstimate{RatesBPM: rates, Method: method}, nil
 }
 
+// EstimateBreathingMultiESPRIT estimates nPersons breathing rates with
+// least-squares ESPRIT over the same band-limited, decimated correlation
+// front end as the root-MUSIC path — an alternative subspace backend with
+// no spectral search and no high-degree polynomial rooting.
+func EstimateBreathingMultiESPRIT(calibrated [][]float64, fs float64, nPersons int, cfg *Config) (*MultiPersonEstimate, error) {
+	if nPersons < 1 {
+		return nil, fmt.Errorf("core: person count %d < 1", nPersons)
+	}
+	series, musicFs, err := prepareMusicSeries(calibrated, fs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	freqs, err := music.EstimateFrequenciesESPRIT(series, nPersons, musicFs, music.CorrelationOptions{
+		WindowLen:       cfg.MusicWindow,
+		ForwardBackward: true,
+		DiagonalLoad:    1e-6,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: ESPRIT: %w", err)
+	}
+	rates := make([]float64, len(freqs))
+	for i, f := range freqs {
+		rates[i] = f * 60
+	}
+	sort.Float64s(rates)
+	return &MultiPersonEstimate{RatesBPM: rates, Method: "esprit"}, nil
+}
+
 // EstimateBreathingMultiFFT estimates nPersons breathing rates as the
 // nPersons highest spectral peaks of the selected subcarrier — the
 // baseline that fails for close rates (Fig. 8).

@@ -83,6 +83,19 @@ type Config struct {
 	// output is byte-identical for every value: workers only ever write
 	// their own subcarrier's slot.
 	Parallelism int
+
+	// Estimator selects the breathing backend behind the estimation stage
+	// ("peaks", "root-music", "esprit", "amplitude" or any registered
+	// backend). Empty keeps the historical person-count dispatch: peaks
+	// for one person, root-MUSIC for more.
+	Estimator string
+	// HeartEstimator selects the heart backend; empty selects "fft".
+	HeartEstimator string
+
+	// Observer, when non-nil, receives OnStageStart/OnStageEnd callbacks
+	// with per-stage durations and data shapes from every pipeline run.
+	// It must be safe for concurrent use if the processor is shared.
+	Observer StageObserver
 }
 
 // DefaultConfig returns the paper's operating point for a 400 Hz capture.
@@ -163,6 +176,16 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("core: bad MUSIC parameters (%d, %d)", c.MusicDecimate, c.MusicWindow)
 	case c.Parallelism < 0:
 		return fmt.Errorf("core: negative parallelism %d", c.Parallelism)
+	}
+	if c.Estimator != "" {
+		if _, err := LookupBreathingEstimator(c.Estimator); err != nil {
+			return err
+		}
+	}
+	if c.HeartEstimator != "" {
+		if _, err := LookupHeartEstimator(c.HeartEstimator); err != nil {
+			return err
+		}
 	}
 	return nil
 }

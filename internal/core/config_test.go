@@ -1,0 +1,59 @@
+package core
+
+import "testing"
+
+// TestConfigForRateProperty sweeps capture rates from 10 Hz to 1 kHz and
+// asserts two invariants of the derived configuration: it always passes
+// Validate, and the resulting estimation rate stays inside [10, 40] Hz —
+// fast enough for the 2.5 Hz heart band's Nyquist margin, slow enough
+// that root-MUSIC's decimated series still spans several breathing cycles.
+func TestConfigForRateProperty(t *testing.T) {
+	rates := make([]float64, 0, 1024)
+	for r := 10; r <= 1000; r++ {
+		rates = append(rates, float64(r))
+	}
+	// Off-grid rates exercise the float→int truncations.
+	rates = append(rates, 10.5, 19.999, 20.001, 33.3, 62.5, 399.5, 400.5, 999.9)
+	for _, rate := range rates {
+		cfg := ConfigForRate(rate)
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("ConfigForRate(%v) fails Validate: %v", rate, err)
+		}
+		est := rate / float64(cfg.DownsampleFactor)
+		if est < 10 || est > 40 {
+			t.Fatalf("ConfigForRate(%v): estimation rate %.3f Hz outside [10, 40] (factor %d)",
+				rate, est, cfg.DownsampleFactor)
+		}
+	}
+}
+
+// TestConfigForRateLowRateClamps pins the floor behavior: below-scale
+// windows clamp to their minimum legal sizes instead of degenerating.
+func TestConfigForRateLowRateClamps(t *testing.T) {
+	cfg := ConfigForRate(10)
+	if cfg.DownsampleFactor != 1 {
+		t.Errorf("10 Hz downsample factor = %d, want 1 (no headroom to decimate)", cfg.DownsampleFactor)
+	}
+	if cfg.TrendWindow < 11 || cfg.SmoothWindow < 3 || cfg.EnvWindow < 10 {
+		t.Errorf("10 Hz windows under floors: trend=%d smooth=%d env=%d",
+			cfg.TrendWindow, cfg.SmoothWindow, cfg.EnvWindow)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("10 Hz config fails Validate: %v", err)
+	}
+}
+
+// TestConfigForRateDefaults pins the identity and the degenerate-input
+// fallback: 400 Hz reproduces DefaultConfig, non-positive rates fall back
+// to it.
+func TestConfigForRateDefaults(t *testing.T) {
+	if got, want := ConfigForRate(400), DefaultConfig(); got != want {
+		t.Errorf("ConfigForRate(400) = %+v, want DefaultConfig", got)
+	}
+	if got, want := ConfigForRate(0), DefaultConfig(); got != want {
+		t.Errorf("ConfigForRate(0) = %+v, want DefaultConfig", got)
+	}
+	if got, want := ConfigForRate(-5), DefaultConfig(); got != want {
+		t.Errorf("ConfigForRate(-5) = %+v, want DefaultConfig", got)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/cmplx"
 	"sync"
+	"time"
 
 	"phasebeat/internal/dsp"
 	"phasebeat/internal/trace"
@@ -194,6 +195,7 @@ func (e *strideEngine) processFull() (*Result, error) {
 func (e *strideEngine) processIncremental(slide int) (*Result, error) {
 	n := e.window
 	pcfg := &e.proc.cfg
+	obs := pcfg.Observer
 	reuse := e.haveSmoothed &&
 		e.prevPos+slide == e.pos &&
 		slide%pcfg.TrendStride == 0 &&
@@ -204,6 +206,15 @@ func (e *strideEngine) processIncremental(slide int) (*Result, error) {
 		e.lastSmoothedSamples = n
 	}
 	start := e.pos % n
+
+	// The ring-cache loop fuses extraction and smoothing; it is reported
+	// to the observer as the smoothing stage, with a note marking the
+	// incremental reuse so stride timings read like batch timings.
+	var t0 time.Time
+	if obs != nil {
+		obs.OnStageStart(StageSmooth)
+		t0 = time.Now()
+	}
 	err := parallelFor(e.nSub, pcfg.Parallelism, func(s int) error {
 		ss := e.scratch.Get().(*subScratch)
 		defer e.scratch.Put(ss)
@@ -212,8 +223,18 @@ func (e *strideEngine) processIncremental(slide int) (*Result, error) {
 		}
 		return nil
 	})
+	if obs != nil {
+		obs.OnStageEnd(StageStats{
+			Stage:       StageSmooth,
+			Duration:    time.Since(t0),
+			Samples:     e.lastSmoothedSamples,
+			Subcarriers: e.nSub,
+			Note:        fmt.Sprintf("incremental extract+smooth: %d of %d samples re-smoothed", e.lastSmoothedSamples, n),
+			Err:         err,
+		})
+	}
 	if err != nil {
-		return nil, err
+		return nil, &StageError{Stage: StageSmooth, Err: err}
 	}
 	e.smoothed, e.next = e.next, e.smoothed
 	e.haveSmoothed = true
@@ -221,9 +242,30 @@ func (e *strideEngine) processIncremental(slide int) (*Result, error) {
 
 	// Replicate AmplitudeGate from the cached per-packet amplitudes: the
 	// window-order sums match the batch gate's packet-order sums exactly.
+	if obs != nil {
+		obs.OnStageStart(StageGate)
+		t0 = time.Now()
+	}
 	med := dsp.Median(e.weaker)
+	rejected := 0
 	for s, w := range e.weaker {
 		e.eligible[s] = w >= amplitudeGateFraction*med
+		if !e.eligible[s] {
+			rejected++
+		}
+	}
+	if obs != nil {
+		var note string
+		if rejected > 0 {
+			note = fmt.Sprintf("gate rejected %d/%d subcarriers", rejected, e.nSub)
+		}
+		obs.OnStageEnd(StageStats{
+			Stage:       StageGate,
+			Duration:    time.Since(t0),
+			Samples:     n,
+			Subcarriers: e.nSub,
+			Note:        note,
+		})
 	}
 	return e.proc.finishSmoothed(e.smoothed, e.eligible, e.cfg.SampleRate)
 }

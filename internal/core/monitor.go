@@ -117,6 +117,16 @@ func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The incremental engine discards raw CSI once its ring caches are
+	// filled, so backends that re-read the trace (amplitude method) can
+	// only run on the full-recompute path. Fail fast instead of erroring
+	// on every stride.
+	if !cfg.FullRecompute && cfg.Pipeline.Estimator != "" {
+		if be, lerr := LookupBreathingEstimator(cfg.Pipeline.Estimator); lerr == nil && needsRawTrace(be) {
+			return nil, fmt.Errorf("core: estimator %q needs the raw trace; set MonitorConfig.FullRecompute",
+				cfg.Pipeline.Estimator)
+		}
+	}
 	m := &Monitor{
 		cfg:       cfg,
 		processor: proc,

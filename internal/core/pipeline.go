@@ -22,7 +22,8 @@ type Result struct {
 	Environment *EnvironmentDetection
 	// StationarySegment is the segment estimates were computed on.
 	StationarySegment Segment
-	// Selection is the subcarrier-selection outcome (Fig. 7).
+	// Selection is the subcarrier-selection outcome (Fig. 7), including
+	// the amplitude-gate fallback diagnostics.
 	Selection *SubcarrierSelection
 	// Calibrated is the calibrated matrix [subcarrier][sample] at the
 	// downsampled rate (Fig. 5).
@@ -33,7 +34,10 @@ type Result struct {
 	EstimationRate float64
 }
 
-// Processor runs the PhaseBeat pipeline over complete traces.
+// Processor runs the PhaseBeat pipeline over complete traces as an
+// explicit stage graph (see batchStages): extraction → smoothing →
+// amplitude gate → environment detection → stationary-segment selection →
+// downsampling → subcarrier selection → DWT → estimation.
 type Processor struct {
 	cfg      Config
 	nPersons int
@@ -51,6 +55,12 @@ func WithConfig(cfg Config) Option {
 // than one the processor runs the root-MUSIC multi-person estimator.
 func WithPersons(n int) Option {
 	return func(p *Processor) { p.nPersons = n }
+}
+
+// WithObserver attaches a per-stage instrumentation hook (equivalent to
+// setting Config.Observer).
+func WithObserver(obs StageObserver) Option {
+	return func(p *Processor) { p.cfg.Observer = obs }
 }
 
 // NewProcessor builds a Processor with the paper's defaults.
@@ -79,7 +89,8 @@ const amplitudeGateFraction = 0.3
 // filterEligible returns the rows of series whose eligible flag is set. A
 // nil mask keeps everything; if the mask would reject every row, the input
 // is returned unchanged (an all-ineligible gate must not starve downstream
-// stages).
+// stages — the fallback is surfaced via SubcarrierSelection.GateFallback
+// and the stage observer).
 func filterEligible(series [][]float64, eligible []bool) [][]float64 {
 	if eligible == nil {
 		return series
@@ -96,108 +107,37 @@ func filterEligible(series [][]float64, eligible []bool) [][]float64 {
 	return kept
 }
 
-// Process runs the full pipeline on a trace: extraction → smoothing →
-// environment detection → stationary-segment selection → downsampling →
-// subcarrier selection → DWT → rate estimation.
+// Process runs the full stage graph on a trace.
+//
+// Contract: the returned *Result is never nil. On success it holds the
+// complete output; on failure it holds everything the stages that ran
+// produced (for example the EnvironmentDetection when no stationary
+// segment exists), and the error is a *StageError naming the failed stage
+// while still matching the sentinel errors (ErrNoData, ErrNotStationary)
+// through errors.Is.
 func (p *Processor) Process(tr *trace.Trace) (*Result, error) {
-	if tr == nil || tr.Len() == 0 {
-		return nil, fmt.Errorf("%w: empty trace", ErrNoData)
+	st := &pipelineState{proc: p, tr: tr, res: &Result{}}
+	if tr != nil {
+		st.sampleRate = tr.SampleRate
 	}
-	phaseDiff, err := extractPhaseDifference(tr, p.cfg.AntennaA, p.cfg.AntennaB, p.cfg.Parallelism)
-	if err != nil {
-		return nil, err
-	}
-
-	smoothed, err := SmoothAll(phaseDiff, &p.cfg)
-	if err != nil {
-		return nil, err
-	}
-
-	// Amplitude SNR gate: subcarriers in a deep fade on either antenna
-	// carry noise-dominated phase. They are excluded from the V statistic,
-	// the sensitivity ranking and the root-MUSIC snapshots alike.
-	eligible := AmplitudeGate(tr, p.cfg.AntennaA, p.cfg.AntennaB, amplitudeGateFraction)
-	return p.finishSmoothed(smoothed, eligible, tr.SampleRate)
+	err := p.runStages(st, batchStages)
+	return st.res, err
 }
 
-// finishSmoothed runs everything downstream of smoothing — environment
-// detection, stationary-segment selection, downsampling, subcarrier
-// selection, DWT, and rate estimation — so the batch Processor and the
-// incremental Monitor share one implementation from this point on.
+// finishSmoothed runs everything downstream of smoothing and gating —
+// environment detection, stationary-segment selection, downsampling,
+// subcarrier selection, DWT, and rate estimation — so the batch Processor
+// and the incremental Monitor share one stage list from this point on.
+// It follows the same partial-result contract as Process.
 func (p *Processor) finishSmoothed(smoothed [][]float64, eligible []bool, sampleRate float64) (*Result, error) {
-	envInput := filterEligible(smoothed, eligible)
-
-	env, err := DetectEnvironment(envInput, p.cfg.EnvWindow, p.cfg.EnvMinV, p.cfg.EnvMaxV)
-	if err != nil {
-		return nil, err
+	st := &pipelineState{
+		proc:       p,
+		smoothed:   smoothed,
+		eligible:   eligible,
+		sampleRate: sampleRate,
+		res:        &Result{},
 	}
-	env.Debounce()
-	seg, ok := env.LongestStationary()
-	if !ok {
-		return &Result{Environment: env}, fmt.Errorf("%w: states %v", ErrNotStationary, env.States)
-	}
-	if seg.EndSample > len(smoothed[0]) {
-		seg.EndSample = len(smoothed[0])
-	}
-	if seg.EndSample-seg.StartSample < p.cfg.MinStationaryWindows*p.cfg.EnvWindow {
-		return &Result{Environment: env}, fmt.Errorf("%w: longest stationary run %d samples, need %d",
-			ErrNotStationary, seg.EndSample-seg.StartSample, p.cfg.MinStationaryWindows*p.cfg.EnvWindow)
-	}
-
-	// Restrict to the stationary segment before estimation.
-	segment := make([][]float64, len(smoothed))
-	for i, series := range smoothed {
-		segment[i] = series[seg.StartSample:seg.EndSample]
-	}
-	calibrated, err := Downsample(segment, &p.cfg)
-	if err != nil {
-		return nil, err
-	}
-	estRate := sampleRate / float64(p.cfg.DownsampleFactor)
-
-	sel, err := SelectSubcarrier(calibrated, p.cfg.TopK, eligible)
-	if err != nil {
-		return nil, err
-	}
-
-	bands, err := DenoiseDWT(calibrated[sel.Selected], estRate, &p.cfg)
-	if err != nil {
-		return nil, err
-	}
-
-	res := &Result{
-		Environment:       env,
-		StationarySegment: seg,
-		Selection:         sel,
-		Calibrated:        calibrated,
-		Bands:             bands,
-		EstimationRate:    estRate,
-	}
-
-	breathingHz := 0.0
-	if p.nPersons == 1 {
-		breathing, err := EstimateBreathingPeaks(bands.Breathing, estRate, &p.cfg)
-		if err != nil {
-			return res, fmt.Errorf("breathing estimation: %w", err)
-		}
-		res.Breathing = breathing
-		breathingHz = breathing.RateBPM / 60
-	} else {
-		// Feed root-MUSIC only the SNR-gated subcarrier series.
-		musicInput := filterEligible(calibrated, sel.Eligible)
-		multi, err := EstimateBreathingMultiRootMUSIC(musicInput, estRate, p.nPersons, &p.cfg)
-		if err != nil {
-			return res, fmt.Errorf("multi-person estimation: %w", err)
-		}
-		res.MultiPerson = multi
-	}
-
-	heart, err := EstimateHeartRate(bands.Heart, estRate, breathingHz, &p.cfg)
-	if err != nil {
-		// Heart estimation is best-effort: breathing results remain valid
-		// even when the heart band is too weak (omnidirectional antenna).
-		return res, nil
-	}
-	res.Heart = heart
-	return res, nil
+	st.gateFallback, st.rejected = gateStats(eligible)
+	err := p.runStages(st, streamStages)
+	return st.res, err
 }

@@ -1,0 +1,378 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"phasebeat/internal/trace"
+)
+
+// Stage names, in pipeline order. The batch Processor runs all nine; the
+// streaming Monitor's incremental path replaces the first three with its
+// ring-buffer engine (which reports them through the same observer) and
+// runs the remaining six through the shared stage runner.
+const (
+	StageExtract    = "extract"    // phase-difference extraction + unwrap
+	StageSmooth     = "smooth"     // Hampel detrend + outlier suppression
+	StageGate       = "gate"       // amplitude SNR gate over subcarriers
+	StageEnvDetect  = "envdetect"  // eq. (8) environment detection
+	StageSegment    = "segment"    // stationary-segment selection
+	StageDownsample = "downsample" // raw rate -> estimation rate
+	StageSelect     = "select"     // MAD-based subcarrier selection
+	StageDWT        = "dwt"        // wavelet band extraction
+	StageEstimate   = "estimate"   // breathing + heart estimation
+)
+
+// Stage is one named step of the pipeline graph: a run function over the
+// shared pipelineState. Stages communicate exclusively through the state,
+// so a stage list fully determines the data flow.
+type Stage struct {
+	// Name identifies the stage in StageError and observer callbacks.
+	Name string
+	// Run advances the state; a non-nil error aborts the remaining stages.
+	Run func(*pipelineState) error
+}
+
+// batchStages is the full nine-stage graph the batch Processor runs.
+var batchStages = []Stage{
+	{StageExtract, runExtract},
+	{StageSmooth, runSmooth},
+	{StageGate, runGate},
+	{StageEnvDetect, runEnvDetect},
+	{StageSegment, runSegment},
+	{StageDownsample, runDownsample},
+	{StageSelect, runSelect},
+	{StageDWT, runDWT},
+	{StageEstimate, runEstimate},
+}
+
+// streamStages is the suffix shared with the incremental Monitor, which
+// performs extraction, smoothing and gating itself from its ring caches.
+var streamStages = batchStages[3:]
+
+// StageNames returns the batch pipeline's stage names in execution order.
+func StageNames() []string {
+	out := make([]string, len(batchStages))
+	for i, s := range batchStages {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// StageError tags a pipeline failure with the stage that produced it. It
+// wraps the underlying error, so errors.Is/As against the sentinels
+// (ErrNoData, ErrNotStationary) keep working through it.
+type StageError struct {
+	// Stage is the failing stage's name (one of the Stage* constants).
+	Stage string
+	// Err is the underlying error.
+	Err error
+}
+
+// Error implements error.
+func (e *StageError) Error() string { return fmt.Sprintf("stage %s: %v", e.Stage, e.Err) }
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *StageError) Unwrap() error { return e.Err }
+
+// StageStats is the per-stage instrumentation record delivered to a
+// StageObserver after each stage completes (successfully or not).
+type StageStats struct {
+	// Stage is the stage name.
+	Stage string
+	// Duration is the stage's wall-clock run time.
+	Duration time.Duration
+	// Samples is the per-subcarrier sample count of the data the pipeline
+	// holds after the stage (raw-rate before downsampling, estimation-rate
+	// after).
+	Samples int
+	// Subcarriers is the subcarrier count of that data.
+	Subcarriers int
+	// Note carries stage-specific diagnostics (gate fallback, estimator
+	// backend, incremental reuse), empty when there is nothing to report.
+	Note string
+	// Err is the stage's error, nil on success.
+	Err error
+}
+
+// StageObserver receives per-stage instrumentation from every pipeline
+// run. Implementations must be safe for concurrent use when the processor
+// is shared across goroutines (the eval trial runner executes trials in
+// parallel). Callbacks run on the pipeline's goroutine: keep them cheap.
+type StageObserver interface {
+	// OnStageStart fires immediately before the stage runs.
+	OnStageStart(stage string)
+	// OnStageEnd fires after the stage returns, success or failure.
+	OnStageEnd(stats StageStats)
+}
+
+// pipelineState is the shared state a stage list threads through: the
+// immutable inputs, the data flowing between stages, and the Result being
+// accumulated. Every stage reads what upstream stages wrote and appends
+// its own products, so a partial Result is always available on failure.
+type pipelineState struct {
+	proc *Processor
+
+	// tr is the raw trace; nil on the Monitor's incremental path, where
+	// extraction happens inside the ring-buffer engine.
+	tr *trace.Trace
+	// sampleRate is the capture rate in Hz.
+	sampleRate float64
+
+	// phaseDiff is the unwrapped phase difference [subcarrier][sample].
+	phaseDiff [][]float64
+	// smoothed is the calibrated full-rate matrix.
+	smoothed [][]float64
+	// eligible is the amplitude-gate mask (nil = no gate).
+	eligible []bool
+	// gateFallback is true when the gate rejected every subcarrier and the
+	// pipeline proceeds ungated; rejected counts the gated-out rows.
+	gateFallback bool
+	rejected     int
+	// segment is the smoothed matrix restricted to the stationary segment.
+	segment [][]float64
+	// breathingHz feeds the heart stage's harmonic rejection.
+	breathingHz float64
+	// note is a per-stage diagnostic cleared after each observer callback.
+	note string
+
+	// res accumulates the pipeline output; never nil.
+	res *Result
+}
+
+// dims reports the sample/subcarrier shape of the most processed matrix
+// the state holds, for observer stats.
+func (st *pipelineState) dims() (samples, subcarriers int) {
+	switch {
+	case st.res.Calibrated != nil && len(st.res.Calibrated) > 0:
+		return len(st.res.Calibrated[0]), len(st.res.Calibrated)
+	case st.smoothed != nil && len(st.smoothed) > 0:
+		return len(st.smoothed[0]), len(st.smoothed)
+	case st.phaseDiff != nil && len(st.phaseDiff) > 0:
+		return len(st.phaseDiff[0]), len(st.phaseDiff)
+	case st.tr != nil:
+		return st.tr.Len(), st.tr.NumSubcarriers
+	}
+	return 0, 0
+}
+
+// runStages executes the stage list over the state, timing each stage for
+// the configured observer and tagging failures with the stage name. The
+// accumulated partial Result stays valid whether or not an error occurs.
+func (p *Processor) runStages(st *pipelineState, stages []Stage) error {
+	obs := p.cfg.Observer
+	for _, stage := range stages {
+		var start time.Time
+		if obs != nil {
+			obs.OnStageStart(stage.Name)
+			start = time.Now()
+		}
+		err := stage.Run(st)
+		if obs != nil {
+			samples, subs := st.dims()
+			obs.OnStageEnd(StageStats{
+				Stage:       stage.Name,
+				Duration:    time.Since(start),
+				Samples:     samples,
+				Subcarriers: subs,
+				Note:        st.note,
+				Err:         err,
+			})
+		}
+		st.note = ""
+		if err != nil {
+			return &StageError{Stage: stage.Name, Err: err}
+		}
+	}
+	return nil
+}
+
+// gateStats summarizes an eligibility mask: whether the gate rejected
+// everything (the ungated-fallback condition shared by filterEligible and
+// SelectSubcarrier) and how many subcarriers it rejected.
+func gateStats(eligible []bool) (fallback bool, rejected int) {
+	if eligible == nil {
+		return false, 0
+	}
+	any := false
+	for _, ok := range eligible {
+		if ok {
+			any = true
+		} else {
+			rejected++
+		}
+	}
+	return !any, rejected
+}
+
+func runExtract(st *pipelineState) error {
+	if st.tr == nil || st.tr.Len() == 0 {
+		return fmt.Errorf("%w: empty trace", ErrNoData)
+	}
+	cfg := &st.proc.cfg
+	pd, err := extractPhaseDifference(st.tr, cfg.AntennaA, cfg.AntennaB, cfg.Parallelism)
+	if err != nil {
+		return err
+	}
+	st.phaseDiff = pd
+	return nil
+}
+
+func runSmooth(st *pipelineState) error {
+	smoothed, err := SmoothAll(st.phaseDiff, &st.proc.cfg)
+	if err != nil {
+		return err
+	}
+	st.smoothed = smoothed
+	return nil
+}
+
+// runGate applies the amplitude SNR gate: subcarriers in a deep fade on
+// either antenna carry noise-dominated phase and are excluded from the V
+// statistic, the sensitivity ranking and the root-MUSIC snapshots alike.
+func runGate(st *pipelineState) error {
+	cfg := &st.proc.cfg
+	st.eligible = AmplitudeGate(st.tr, cfg.AntennaA, cfg.AntennaB, amplitudeGateFraction)
+	st.gateFallback, st.rejected = gateStats(st.eligible)
+	if st.rejected > 0 {
+		st.note = fmt.Sprintf("gate rejected %d/%d subcarriers", st.rejected, len(st.eligible))
+	}
+	return nil
+}
+
+func runEnvDetect(st *pipelineState) error {
+	cfg := &st.proc.cfg
+	envInput := filterEligible(st.smoothed, st.eligible)
+	env, err := DetectEnvironment(envInput, cfg.EnvWindow, cfg.EnvMinV, cfg.EnvMaxV)
+	if err != nil {
+		return err
+	}
+	env.Debounce()
+	st.res.Environment = env
+	if st.gateFallback {
+		st.note = fmt.Sprintf("amplitude gate rejected all %d subcarriers; proceeding ungated", st.rejected)
+	}
+	return nil
+}
+
+func runSegment(st *pipelineState) error {
+	cfg := &st.proc.cfg
+	env := st.res.Environment
+	seg, ok := env.LongestStationary()
+	if !ok {
+		return fmt.Errorf("%w: states %v", ErrNotStationary, env.States)
+	}
+	if seg.EndSample > len(st.smoothed[0]) {
+		seg.EndSample = len(st.smoothed[0])
+	}
+	if seg.EndSample-seg.StartSample < cfg.MinStationaryWindows*cfg.EnvWindow {
+		return fmt.Errorf("%w: longest stationary run %d samples, need %d",
+			ErrNotStationary, seg.EndSample-seg.StartSample, cfg.MinStationaryWindows*cfg.EnvWindow)
+	}
+	st.res.StationarySegment = seg
+	segment := make([][]float64, len(st.smoothed))
+	for i, series := range st.smoothed {
+		segment[i] = series[seg.StartSample:seg.EndSample]
+	}
+	st.segment = segment
+	return nil
+}
+
+func runDownsample(st *pipelineState) error {
+	cfg := &st.proc.cfg
+	calibrated, err := Downsample(st.segment, cfg)
+	if err != nil {
+		return err
+	}
+	st.res.Calibrated = calibrated
+	st.res.EstimationRate = st.sampleRate / float64(cfg.DownsampleFactor)
+	return nil
+}
+
+func runSelect(st *pipelineState) error {
+	sel, err := SelectSubcarrier(st.res.Calibrated, st.proc.cfg.TopK, st.eligible)
+	if err != nil {
+		return err
+	}
+	st.res.Selection = sel
+	if sel.GateFallback {
+		st.note = fmt.Sprintf("gate fallback: all %d subcarriers rejected, ranking ungated", sel.Rejected)
+	}
+	return nil
+}
+
+func runDWT(st *pipelineState) error {
+	sel := st.res.Selection
+	bands, err := DenoiseDWT(st.res.Calibrated[sel.Selected], st.res.EstimationRate, &st.proc.cfg)
+	if err != nil {
+		return err
+	}
+	st.res.Bands = bands
+	return nil
+}
+
+// TimingObserver is a ready-made StageObserver that aggregates per-stage
+// wall-clock durations across runs. It is safe for concurrent use, so one
+// instance can instrument parallel trials or a streaming Monitor.
+type TimingObserver struct {
+	mu    sync.Mutex
+	order []string
+	byKey map[string]*stageTotals
+}
+
+type stageTotals struct {
+	total       time.Duration
+	count       int
+	samples     int
+	subcarriers int
+}
+
+// NewTimingObserver returns an empty collector.
+func NewTimingObserver() *TimingObserver {
+	return &TimingObserver{byKey: make(map[string]*stageTotals)}
+}
+
+// OnStageStart implements StageObserver.
+func (o *TimingObserver) OnStageStart(string) {}
+
+// OnStageEnd implements StageObserver.
+func (o *TimingObserver) OnStageEnd(s StageStats) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	t, ok := o.byKey[s.Stage]
+	if !ok {
+		t = &stageTotals{}
+		o.byKey[s.Stage] = t
+		o.order = append(o.order, s.Stage)
+	}
+	t.total += s.Duration
+	t.count++
+	t.samples = s.Samples
+	t.subcarriers = s.Subcarriers
+}
+
+// Table renders the aggregated timings as an aligned plain-text table in
+// first-seen stage order: runs, total and mean duration, and the last
+// observed data shape per stage.
+func (o *TimingObserver) Table() string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %6s %12s %12s %16s\n", "stage", "runs", "total", "mean", "last shape")
+	var grand time.Duration
+	for _, name := range o.order {
+		t := o.byKey[name]
+		mean := time.Duration(0)
+		if t.count > 0 {
+			mean = t.total / time.Duration(t.count)
+		}
+		fmt.Fprintf(&b, "%-12s %6d %12s %12s %10d x %-3d\n",
+			name, t.count, t.total.Round(time.Microsecond), mean.Round(time.Microsecond),
+			t.samples, t.subcarriers)
+		grand += t.total
+	}
+	fmt.Fprintf(&b, "%-12s %6s %12s\n", "all stages", "", grand.Round(time.Microsecond))
+	return b.String()
+}

@@ -25,6 +25,12 @@ type SubcarrierSelection struct {
 	// Selected is the finally chosen subcarrier: the median-MAD member of
 	// TopK.
 	Selected int
+	// GateFallback reports that the amplitude gate rejected every
+	// subcarrier and the ranking proceeded ungated (a degenerate gate must
+	// not starve the pipeline); Rejected counts the gated-out subcarriers
+	// regardless of fallback.
+	GateFallback bool
+	Rejected     int
 }
 
 // SelectSubcarrier ranks subcarriers by the mean absolute deviation of
@@ -51,16 +57,25 @@ func SelectSubcarrier(calibrated [][]float64, k int, eligible []bool) (*Subcarri
 	}
 	ok := func(i int) bool { return eligible == nil || i >= len(eligible) || eligible[i] }
 	anyEligible := false
+	rejected := 0
 	for i := 0; i < n; i++ {
 		if ok(i) {
 			anyEligible = true
-			break
+		} else {
+			rejected++
 		}
 	}
+	fallback := false
 	if !anyEligible {
 		eligible = nil // degenerate gate: fall back to all subcarriers
+		fallback = rejected > 0
 	}
-	sel := &SubcarrierSelection{MAD: make([]float64, n), Eligible: eligible}
+	sel := &SubcarrierSelection{
+		MAD:          make([]float64, n),
+		Eligible:     eligible,
+		GateFallback: fallback,
+		Rejected:     rejected,
+	}
 	for i, series := range calibrated {
 		sel.MAD[i] = dsp.MeanAbsDev(series)
 	}

@@ -13,6 +13,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"phasebeat/internal/core"
 )
 
 // ErrNoTrials reports that every trial of an experiment failed.
@@ -108,6 +110,25 @@ type Options struct {
 	Seed int64
 	// Parallelism bounds worker goroutines (0 → GOMAXPROCS).
 	Parallelism int
+	// Estimator optionally selects a breathing backend for every trial
+	// (see core.BreathingEstimatorNames); empty keeps the pipeline's
+	// person-count dispatch, matching the paper.
+	Estimator string
+	// Observer, when non-nil, receives per-stage timing callbacks from
+	// every trial's pipeline run. It must be safe for concurrent use —
+	// trials run across a worker pool (core.TimingObserver qualifies).
+	Observer core.StageObserver
+}
+
+// newProcessor builds one trial's processor from a base configuration,
+// threading the experiment-wide estimator selection and stage observer
+// through to the pipeline.
+func (o Options) newProcessor(cfg core.Config, persons int) (*core.Processor, error) {
+	cfg.Estimator = o.Estimator
+	if o.Observer != nil {
+		cfg.Observer = o.Observer
+	}
+	return core.NewProcessor(core.WithConfig(cfg), core.WithPersons(persons))
 }
 
 // withDefaults fills zero fields.

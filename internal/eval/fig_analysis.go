@@ -363,7 +363,7 @@ func labResult(opts Options, directional bool) (*core.Result, float64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	p, err := core.NewProcessor()
+	p, err := opts.newProcessor(core.DefaultConfig(), 1)
 	if err != nil {
 		return nil, 0, err
 	}

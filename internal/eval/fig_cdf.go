@@ -35,7 +35,7 @@ func Fig11BreathingCDF(opts Options) (*Report, error) {
 			return nil, err
 		}
 		truth := sim.Truth()[0].BreathingBPM
-		p, err := core.NewProcessor()
+		p, err := opts.newProcessor(core.DefaultConfig(), 1)
 		if err != nil {
 			return nil, err
 		}
@@ -118,7 +118,7 @@ func Fig12HeartCDF(opts Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		p, err := core.NewProcessor()
+		p, err := opts.newProcessor(core.DefaultConfig(), 1)
 		if err != nil {
 			return nil, err
 		}
@@ -183,7 +183,7 @@ func Fig13SamplingSweep(opts Options) (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
-			p, err := core.NewProcessor(core.WithConfig(core.ConfigForRate(rate)))
+			p, err := opts.newProcessor(core.ConfigForRate(rate), 1)
 			if err != nil {
 				return nil, err
 			}

@@ -28,7 +28,7 @@ func Fig09HeartFFT(opts Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	p, err := core.NewProcessor()
+	p, err := opts.newProcessor(core.DefaultConfig(), 1)
 	if err != nil {
 		return nil, err
 	}
@@ -78,7 +78,7 @@ func distanceSweep(name, title, paper string, kind csisim.ScenarioKind, distance
 			if err != nil {
 				return nil, err
 			}
-			p, err := core.NewProcessor()
+			p, err := opts.newProcessor(core.DefaultConfig(), 1)
 			if err != nil {
 				return nil, err
 			}

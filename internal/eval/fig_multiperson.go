@@ -29,7 +29,7 @@ func Fig08MultiPersonFFT(opts Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		p, err := core.NewProcessor(core.WithPersons(len(tc.rates)))
+		p, err := opts.newProcessor(core.DefaultConfig(), len(tc.rates))
 		if err != nil {
 			return nil, err
 		}
@@ -100,7 +100,7 @@ func Fig14MultiPersonAccuracy(opts Options) (*Report, error) {
 			for _, t := range sim.Truth() {
 				truths = append(truths, t.BreathingBPM)
 			}
-			p, err := core.NewProcessor(core.WithPersons(n))
+			p, err := opts.newProcessor(core.DefaultConfig(), n)
 			if err != nil {
 				return nil, err
 			}

@@ -76,3 +76,14 @@ func ESPRIT(r *linalg.Matrix, nSignals int, fs float64) ([]float64, error) {
 	sort.Float64s(out)
 	return out, nil
 }
+
+// EstimateFrequenciesESPRIT mirrors EstimateFrequencies with the ESPRIT
+// backend: build the temporal correlation matrix from the calibrated
+// subcarrier series, then run least-squares ESPRIT.
+func EstimateFrequenciesESPRIT(series [][]float64, nSignals int, fs float64, opts CorrelationOptions) ([]float64, error) {
+	r, err := CorrelationMatrix(series, opts)
+	if err != nil {
+		return nil, err
+	}
+	return ESPRIT(r, nSignals, fs)
+}

@@ -66,6 +66,16 @@ type (
 	TrackConfig = core.TrackConfig
 	// ProcessorOption customizes ProcessTrace.
 	ProcessorOption = core.Option
+	// StageError tags a pipeline failure with the stage that produced it;
+	// match the stage with errors.As and the cause with errors.Is.
+	StageError = core.StageError
+	// StageStats is one per-stage record delivered to a StageObserver.
+	StageStats = core.StageStats
+	// StageObserver receives start/end callbacks from every pipeline run.
+	StageObserver = core.StageObserver
+	// TimingObserver is a concurrency-safe StageObserver that aggregates
+	// per-stage durations across runs.
+	TimingObserver = core.TimingObserver
 
 	// Trace is a CSI capture; Packet is one CSI measurement.
 	Trace  = trace.Trace
@@ -121,6 +131,25 @@ func WithConfig(cfg Config) ProcessorOption { return core.WithConfig(cfg) }
 // WithPersons sets the monitored person count for ProcessTrace; above one,
 // the root-MUSIC multi-person estimator runs.
 func WithPersons(n int) ProcessorOption { return core.WithPersons(n) }
+
+// WithObserver attaches a stage observer to ProcessTrace; it receives
+// per-stage durations and data shapes as the pipeline runs.
+func WithObserver(obs StageObserver) ProcessorOption { return core.WithObserver(obs) }
+
+// NewTimingObserver returns an empty stage-timing collector; attach it via
+// WithObserver or Config.Observer and render it with Table.
+func NewTimingObserver() *TimingObserver { return core.NewTimingObserver() }
+
+// PipelineStages lists the pipeline's stage names in execution order.
+func PipelineStages() []string { return core.StageNames() }
+
+// BreathingEstimators lists the registered breathing estimator backends
+// selectable through Config.Estimator.
+func BreathingEstimators() []string { return core.BreathingEstimatorNames() }
+
+// HeartEstimators lists the registered heart estimator backends selectable
+// through Config.HeartEstimator.
+func HeartEstimators() []string { return core.HeartEstimatorNames() }
 
 // ProcessTrace runs the full PhaseBeat pipeline over a complete trace.
 func ProcessTrace(tr *Trace, opts ...ProcessorOption) (*Result, error) {
