@@ -37,6 +37,9 @@ func run(args []string) error {
 	persons := fs.Int("persons", 1, "monitored person count")
 	verbose := fs.Bool("verbose", false, "print pipeline diagnostics")
 	watch := fs.Float64("watch", 0, "realtime mode: stream a simulated scene for this many seconds, printing periodic estimates")
+	faultLoss := fs.Float64("fault-loss", 0, "watch mode: per-packet probability of a ~1s packet-loss burst")
+	faultReorder := fs.Float64("fault-reorder", 0, "watch mode: per-packet probability of delivering packets out of order")
+	faultNaN := fs.Float64("fault-nan", 0, "watch mode: per-packet probability of a NaN-corrupted CSI cell")
 	estimator := fs.String("estimator", "", "breathing estimator backend: "+
 		strings.Join(phasebeat.BreathingEstimators(), ", ")+" (empty = person-count dispatch)")
 	stageTimings := fs.Bool("stage-timings", false, "print per-stage pipeline durations")
@@ -60,7 +63,12 @@ func run(args []string) error {
 			NumPersons:    *persons,
 			DirectionalTx: *directional,
 			Seed:          *seed,
-		}, *watch, *persons, *estimator, timings)
+		}, *watch, *persons, *estimator, timings, phasebeat.FaultPlan{
+			LossProb:      *faultLoss,
+			LossBurstMean: 400, // ~1 s at the default 400 Hz rate
+			ReorderProb:   *faultReorder,
+			NaNProb:       *faultNaN,
+		})
 	}
 
 	var (
@@ -175,11 +183,21 @@ func readTraceFile(path string) (*phasebeat.Trace, error) {
 }
 
 // watchScene streams a simulated scene through a Monitor, printing each
-// periodic estimate — the realtime deployment shape.
-func watchScene(sc phasebeat.Scenario, seconds float64, persons int, estimator string, timings *phasebeat.TimingObserver) error {
+// periodic estimate — the realtime deployment shape. A non-zero fault
+// plan routes the stream through the fault-injection harness; the ingest
+// health summary annotates each degraded estimate and is printed in full
+// at the end.
+func watchScene(sc phasebeat.Scenario, seconds float64, persons int, estimator string, timings *phasebeat.TimingObserver, faults phasebeat.FaultPlan) error {
 	sim, err := phasebeat.NewSimulator(sc)
 	if err != nil {
 		return err
+	}
+	var src phasebeat.PacketSource = sim
+	if faults.LossProb > 0 || faults.ReorderProb > 0 || faults.NaNProb > 0 {
+		src, err = phasebeat.NewFaultInjector(sim, faults, sc.Seed)
+		if err != nil {
+			return err
+		}
 	}
 	cfg := phasebeat.DefaultMonitorConfig()
 	cfg.Persons = persons
@@ -198,9 +216,11 @@ func watchScene(sc phasebeat.Scenario, seconds float64, persons int, estimator s
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
+		var last phasebeat.Health
 		for u := range m.Updates() {
 			if u.Err != nil {
 				fmt.Printf("[t=%5.0fs] no vital signs: %v\n", u.Time, u.Err)
+				last = u.Health
 				continue
 			}
 			fmt.Printf("[t=%5.0fs]", u.Time)
@@ -213,17 +233,26 @@ func watchScene(sc phasebeat.Scenario, seconds float64, persons int, estimator s
 			if u.Result.Heart != nil {
 				fmt.Printf(" heart %.1f bpm", u.Result.Heart.RateBPM)
 			}
+			// Annotate estimates produced while the ingest path degraded
+			// since the previous update, so they can be read with suspicion.
+			if delta := u.Health.Sub(last); delta.Degraded() {
+				fmt.Printf("  [degraded: %s]", delta)
+			}
+			last = u.Health
 			fmt.Println()
 		}
 	}()
 	total := int(seconds * cfg.SampleRate)
 	for i := 0; i < total; i++ {
-		if !m.Ingest(sim.NextPacket()) {
+		if !m.Ingest(src.NextPacket()) {
 			break
 		}
 	}
 	m.Close()
 	<-done
+	if h := m.Health(); h.Degraded() {
+		fmt.Printf("ingest health: %s (accepted %d)\n", h, h.Accepted)
+	}
 	for i, t := range sim.Truth() {
 		fmt.Printf("ground truth person %d: breathing %.2f bpm, heart %.2f bpm\n",
 			i+1, t.BreathingBPM, t.HeartBPM)

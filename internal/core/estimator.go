@@ -239,18 +239,37 @@ func runEstimate(st *pipelineState) error {
 	}
 	st.breathingHz = breathingHz
 
+	// Non-finite guard: corrupt input (Inf amplitudes survive phase
+	// extraction finite, NaNs can enter through custom backends) must not
+	// become a "successful" NaN estimate. Breathing failing the guard is
+	// an error; a non-finite heart estimate is dropped like any other
+	// heart failure (best-effort).
+	if res.Breathing != nil && !isFinite(res.Breathing.RateBPM) {
+		return fmt.Errorf("%w: breathing estimate %v bpm", ErrNonFinite, res.Breathing.RateBPM)
+	}
+	if res.MultiPerson != nil {
+		for _, r := range res.MultiPerson.RatesBPM {
+			if !isFinite(r) {
+				return fmt.Errorf("%w: multi-person estimate %v bpm", ErrNonFinite, r)
+			}
+		}
+	}
+
 	he, err := LookupHeartEstimator(cfg.HeartEstimator)
 	if err != nil {
 		return err
 	}
 	heart, err := he.EstimateHeart(in, breathingHz)
-	if err != nil {
+	if err != nil || (heart != nil && !isFinite(heart.RateBPM)) {
 		// Best-effort: a weak heart band must not invalidate breathing.
 		return nil
 	}
 	res.Heart = heart
 	return nil
 }
+
+// isFinite reports whether v is neither NaN nor ±Inf.
+func isFinite(v float64) bool { return v == v && v-v == 0 }
 
 // peaksEstimator is the paper's single-person method: sliding-window peak
 // detection over the DWT breathing band with FFT/autocorrelation guards.

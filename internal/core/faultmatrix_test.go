@@ -1,0 +1,294 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"phasebeat/internal/csisim"
+	"phasebeat/internal/trace"
+)
+
+// The fault-matrix suite streams a fixed-rate scene through the csisim
+// fault-injection harness into a Monitor and checks the robustness
+// contract end to end: no non-finite estimate ever carries a nil error,
+// every rejected packet and window re-anchor is reported in the Update
+// health summary, and once faults stop the estimates re-converge to the
+// clean-trace value within one analysis window.
+
+// faultMatrixRate keeps the suite fast while leaving the incremental
+// engine's reuse preconditions intact (window > 2*margin + stride).
+const (
+	faultMatrixRate   = 100.0
+	faultMatrixBPM    = 16.0
+	faultMatrixWindow = 20.0 // seconds
+	faultMatrixStride = 5.0  // seconds
+	faultMatrixTotal  = 90.0 // seconds streamed
+	faultFrom         = 30.0 // fault episode bounds
+	faultUntil        = 60.0
+)
+
+func faultMonitorConfig() MonitorConfig {
+	cfg := DefaultMonitorConfig()
+	cfg.SampleRate = faultMatrixRate
+	cfg.Pipeline = ConfigForRate(faultMatrixRate)
+	cfg.WindowSeconds = faultMatrixWindow
+	cfg.UpdateEverySeconds = faultMatrixStride
+	cfg.IngestBuffer = 64
+	return cfg
+}
+
+// cleanReferenceBPM runs the batch pipeline over the final window of the
+// same scene without faults — the value a degraded monitor must converge
+// back to.
+func cleanReferenceBPM(t *testing.T, seed int64) float64 {
+	t.Helper()
+	sim := newFixedSim(t, faultMatrixRate, faultMatrixBPM, seed)
+	window := int(faultMatrixWindow * faultMatrixRate)
+	total := int(faultMatrixTotal * faultMatrixRate)
+	tr := &trace.Trace{
+		SampleRate:     faultMatrixRate,
+		NumAntennas:    3,
+		NumSubcarriers: csisim.NumSubcarriers,
+		Packets:        make([]trace.Packet, 0, total),
+	}
+	for i := 0; i < total; i++ {
+		tr.Packets = append(tr.Packets, sim.NextPacket())
+	}
+	tr.Packets = tr.Packets[len(tr.Packets)-window:]
+	proc, err := NewProcessor(WithConfig(ConfigForRate(faultMatrixRate)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := proc.Process(tr)
+	if err != nil {
+		t.Fatalf("clean reference window failed: %v", err)
+	}
+	if res.Breathing == nil {
+		t.Fatal("clean reference produced no breathing estimate")
+	}
+	return res.Breathing.RateBPM
+}
+
+// runFaultCase streams the faulted scene through a Monitor and returns
+// every update plus the final health summary and injector stats.
+func runFaultCase(t *testing.T, seed int64, plan csisim.FaultPlan) ([]Update, Health, csisim.FaultStats) {
+	t.Helper()
+	sim := newFixedSim(t, faultMatrixRate, faultMatrixBPM, seed)
+	fi, err := csisim.NewFaultInjector(sim, plan, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMonitor(faultMonitorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	var updates []Update
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for u := range m.Updates() {
+			updates = append(updates, u)
+		}
+	}()
+	total := int(faultMatrixTotal * faultMatrixRate)
+	for i := 0; i < total; i++ {
+		if !m.Ingest(fi.NextPacket()) {
+			t.Error("Ingest refused while running")
+			break
+		}
+	}
+	// Close abandons whatever still sits in the ingest queue; wait for the
+	// worker to account for every submitted packet first so the health
+	// bookkeeping can be checked exactly.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		h := m.Health()
+		if h.Accepted+h.Quarantined() == uint64(total) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker never drained: %d of %d packets accounted",
+				h.Accepted+h.Quarantined(), total)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	m.Close()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("timed out draining updates")
+	}
+	return updates, m.Health(), fi.Stats()
+}
+
+// checkInvariants enforces the per-update contract common to every fault
+// case: finite estimates under nil errors, monotone health counters, and
+// full accounting of delivered packets.
+func checkInvariants(t *testing.T, updates []Update, final Health, st csisim.FaultStats) {
+	t.Helper()
+	if len(updates) == 0 {
+		t.Fatal("no updates produced")
+	}
+	var prev Health
+	for i, u := range updates {
+		if u.Err == nil {
+			if u.Result == nil || u.Result.Breathing == nil {
+				t.Fatalf("update %d: nil error but no breathing estimate", i)
+			}
+			if r := u.Result.Breathing.RateBPM; math.IsNaN(r) || math.IsInf(r, 0) {
+				t.Fatalf("update %d: non-finite breathing %v with nil error", i, r)
+			}
+			if u.Result.Heart != nil {
+				if r := u.Result.Heart.RateBPM; math.IsNaN(r) || math.IsInf(r, 0) {
+					t.Fatalf("update %d: non-finite heart %v with nil error", i, r)
+				}
+			}
+		}
+		h := u.Health
+		if h.Accepted < prev.Accepted || h.Quarantined() < prev.Quarantined() ||
+			h.GapResets < prev.GapResets || h.UpdatesReplaced < prev.UpdatesReplaced {
+			t.Fatalf("update %d: health went backwards: %+v after %+v", i, h, prev)
+		}
+		prev = h
+	}
+	// Every delivered packet is either accepted or quarantined; nothing
+	// vanishes without accounting (blocking ingest: no backlog drops).
+	if got, want := final.Accepted+final.Quarantined(), st.Delivered; got != want {
+		t.Fatalf("accounting mismatch: accepted %d + quarantined %d != delivered %d",
+			final.Accepted, final.Quarantined(), want)
+	}
+}
+
+// checkReconvergence compares the last update — whose window lies wholly
+// after the fault episode plus one analysis window — to the clean-trace
+// reference estimate.
+func checkReconvergence(t *testing.T, updates []Update, cleanBPM float64) {
+	t.Helper()
+	last := updates[len(updates)-1]
+	if last.Time < faultUntil+faultMatrixWindow {
+		t.Fatalf("last update at t=%.1f s, before faults stopped (%.0f s) plus one window (%.0f s)",
+			last.Time, faultUntil, faultMatrixWindow)
+	}
+	if last.Err != nil {
+		t.Fatalf("last update still failing after faults stopped: %v", last.Err)
+	}
+	got := last.Result.Breathing.RateBPM
+	if d := math.Abs(got - cleanBPM); d > 0.5 {
+		t.Fatalf("did not re-converge: %.2f bpm vs clean %.2f bpm (Δ %.2f > 0.5)", got, cleanBPM, d)
+	}
+}
+
+func TestFaultMatrix(t *testing.T) {
+	const seed = 1234
+	cleanBPM := cleanReferenceBPM(t, seed)
+	if math.Abs(cleanBPM-faultMatrixBPM) > 1 {
+		t.Fatalf("clean reference %.2f bpm implausibly far from truth %.0f", cleanBPM, faultMatrixBPM)
+	}
+
+	cases := []struct {
+		name  string
+		plan  csisim.FaultPlan
+		check func(t *testing.T, updates []Update, h Health, st csisim.FaultStats)
+	}{
+		{
+			// A three-second total outage: the delivered stream has one
+			// timestamp gap far beyond the threshold, which must re-anchor
+			// the window exactly once instead of splicing across it.
+			name: "loss-burst-gap",
+			plan: csisim.FaultPlan{
+				ActiveFromS: 40, ActiveUntilS: 43,
+				LossProb: 1, LossBurstMean: 1,
+			},
+			check: func(t *testing.T, updates []Update, h Health, st csisim.FaultStats) {
+				if st.Lost == 0 {
+					t.Fatal("injector lost nothing")
+				}
+				if h.GapResets != 1 {
+					t.Fatalf("gap resets = %d, want 1 (outage of 3 s vs 1 s threshold)", h.GapResets)
+				}
+				if h.Quarantined() != 0 {
+					t.Fatalf("outage should not quarantine anything, got %+v", h)
+				}
+			},
+		},
+		{
+			// Reordered and jittered delivery: backwards timestamps must be
+			// quarantined with the non-monotonic cause, never spliced into
+			// the ring as negative strides.
+			name: "reorder-jitter",
+			plan: csisim.FaultPlan{
+				ActiveFromS: faultFrom, ActiveUntilS: faultUntil,
+				ReorderProb: 0.05, JitterSigmaS: 0.002,
+			},
+			check: func(t *testing.T, updates []Update, h Health, st csisim.FaultStats) {
+				if st.Reordered == 0 {
+					t.Fatal("injector reordered nothing")
+				}
+				if h.QuarantinedNonMonotonic == 0 {
+					t.Fatal("no non-monotonic quarantines despite reordering")
+				}
+			},
+		},
+		{
+			// NaN/Inf CSI corruption: the poisoned packets must be rejected
+			// at the door; none may surface as a non-finite estimate.
+			name: "nan-inf-corruption",
+			plan: csisim.FaultPlan{
+				ActiveFromS: faultFrom, ActiveUntilS: faultUntil,
+				NaNProb: 0.1, InfProb: 0.05,
+			},
+			check: func(t *testing.T, updates []Update, h Health, st csisim.FaultStats) {
+				if st.NaNCorrupted == 0 || st.InfCorrupted == 0 {
+					t.Fatalf("injector corrupted nothing: %+v", st)
+				}
+				if h.QuarantinedNonFinite == 0 {
+					t.Fatal("no non-finite quarantines despite corruption")
+				}
+			},
+		},
+		{
+			// Truncated packets and a flaky antenna chain: malformed packets
+			// are quarantined; zeroed-antenna packets are structurally valid
+			// and flow through the amplitude gate instead.
+			name: "truncation-antenna-dropout",
+			plan: csisim.FaultPlan{
+				ActiveFromS: faultFrom, ActiveUntilS: faultUntil,
+				TruncateProb:    0.05,
+				AntennaDropProb: 0.002, AntennaDropMean: 20,
+			},
+			check: func(t *testing.T, updates []Update, h Health, st csisim.FaultStats) {
+				if st.Truncated == 0 || st.AntennaDropped == 0 {
+					t.Fatalf("injector skipped a fault kind: %+v", st)
+				}
+				if h.QuarantinedMalformed == 0 {
+					t.Fatal("no malformed quarantines despite truncation")
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			updates, health, stats := runFaultCase(t, seed, tc.plan)
+			checkInvariants(t, updates, health, stats)
+			tc.check(t, updates, health, stats)
+			checkReconvergence(t, updates, cleanBPM)
+		})
+	}
+}
+
+// TestFaultMatrixCleanBaseline pins the suite's own plumbing: with a zero
+// plan the monitor reports perfect health and tracks the clean estimate.
+func TestFaultMatrixCleanBaseline(t *testing.T) {
+	const seed = 1234
+	cleanBPM := cleanReferenceBPM(t, seed)
+	updates, health, stats := runFaultCase(t, seed, csisim.FaultPlan{})
+	checkInvariants(t, updates, health, stats)
+	if health.Degraded() {
+		t.Fatalf("clean stream reported degraded health: %+v", health)
+	}
+	checkReconvergence(t, updates, cleanBPM)
+}

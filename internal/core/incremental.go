@@ -31,6 +31,35 @@ type subScratch struct {
 	sc     smoothScratch
 }
 
+// pushVerdict is the quarantine outcome of offering one packet to the
+// stride engine. Anything but pushAccepted means the packet was rejected
+// before touching the ring caches.
+type pushVerdict int
+
+const (
+	// pushAccepted: the packet passed quarantine and entered the window.
+	pushAccepted pushVerdict = iota
+	// pushMalformed: antenna or subcarrier counts mismatch the config.
+	pushMalformed
+	// pushNonFinite: a CSI cell held a NaN or Inf component.
+	pushNonFinite
+	// pushNonMonotonic: the timestamp ran backwards.
+	pushNonMonotonic
+)
+
+// defaultMaxGapSeconds resolves MonitorConfig.MaxGapSeconds: zero selects
+// a threshold of one second (at least twenty packet intervals), negative
+// disables gap detection.
+func defaultMaxGapSeconds(cfg *MonitorConfig) float64 {
+	switch {
+	case cfg.MaxGapSeconds > 0:
+		return cfg.MaxGapSeconds
+	case cfg.MaxGapSeconds < 0:
+		return math.Inf(1)
+	}
+	return math.Max(1, 20/cfg.SampleRate)
+}
+
 // strideEngine maintains a Monitor's sliding analysis window as a true ring
 // buffer with per-packet caches, so each stride reprocesses only the new
 // tail plus the smoothing edge margin instead of the whole window.
@@ -54,8 +83,14 @@ type strideEngine struct {
 	nSub           int
 	cached         bool // per-packet caches in use (incremental path)
 
-	pos       int // total packets pushed; head slot is pos % window
+	pos       int // total accepted packets; head slot is pos % window
 	sinceLast int // packets since the last processed window
+
+	// lastTime is the newest accepted timestamp (-Inf before the first
+	// packet); maxGap is the timestamp-gap threshold beyond which the
+	// window is re-anchored instead of spliced.
+	lastTime float64
+	maxGap   float64
 
 	// Ring caches, indexed [subcarrier][slot] with slot = pushIndex % window.
 	diff, sinD, cosD [][]float64
@@ -92,13 +127,15 @@ func newStrideEngine(cfg *MonitorConfig, proc *Processor) *strideEngine {
 		stride = 1
 	}
 	e := &strideEngine{
-		cfg:    cfg,
-		proc:   proc,
-		window: window,
-		stride: stride,
-		margin: smoothMargin(&proc.cfg),
-		nSub:   cfg.NumSubcarriers,
-		cached: !cfg.FullRecompute,
+		cfg:      cfg,
+		proc:     proc,
+		window:   window,
+		stride:   stride,
+		margin:   smoothMargin(&proc.cfg),
+		nSub:     cfg.NumSubcarriers,
+		cached:   !cfg.FullRecompute,
+		lastTime: math.Inf(-1),
+		maxGap:   defaultMaxGapSeconds(cfg),
 	}
 	e.scratch.New = func() any { return &subScratch{} }
 	if e.cached {
@@ -126,15 +163,42 @@ func makeMatrix(rows, cols int) [][]float64 {
 	return out
 }
 
-// push appends one packet to the ring, caching its derived per-subcarrier
-// quantities. It allocates nothing.
-func (e *strideEngine) push(p trace.Packet) {
+// push offers one packet to the ring. Packets that fail quarantine
+// (wrong shape, non-finite CSI, backwards timestamp) are rejected with a
+// verdict naming the cause and never touch the caches; an accepted packet
+// whose timestamp gaps past maxGap re-anchors the window first (gapReset
+// true) instead of splicing discontinuous data. It allocates nothing.
+func (e *strideEngine) push(p trace.Packet) (verdict pushVerdict, gapReset bool) {
+	if len(p.CSI) != e.cfg.NumAntennas {
+		return pushMalformed, false
+	}
+	for _, row := range p.CSI {
+		if len(row) != e.cfg.NumSubcarriers {
+			return pushMalformed, false
+		}
+	}
+	if !packetFinite(p) {
+		return pushNonFinite, false
+	}
+	if p.Time < e.lastTime {
+		return pushNonMonotonic, false
+	}
+	if p.Time-e.lastTime > e.maxGap {
+		// math.Inf(-1) as lastTime makes the first packet's gap +Inf, but
+		// an empty window has nothing to splice — skip the reset then.
+		if e.pos > 0 {
+			e.resetWindow()
+			gapReset = true
+		}
+	}
+	e.lastTime = p.Time
+
 	slot := e.pos % e.window
 	if !e.cached {
 		e.pkts[slot] = p
 		e.pos++
 		e.sinceLast++
-		return
+		return pushAccepted, gapReset
 	}
 	a, b := e.proc.cfg.AntennaA, e.proc.cfg.AntennaB
 	rowA, rowB := p.CSI[a], p.CSI[b]
@@ -150,6 +214,35 @@ func (e *strideEngine) push(p trace.Packet) {
 	}
 	e.pos++
 	e.sinceLast++
+	return pushAccepted, gapReset
+}
+
+// packetFinite reports whether every CSI component of the packet is
+// finite. NaN or Inf cells would otherwise poison the ring caches: a
+// single NaN survives every downstream median and FFT into the estimate.
+func packetFinite(p trace.Packet) bool {
+	for _, row := range p.CSI {
+		for _, c := range row {
+			re, im := real(c), imag(c)
+			// IsNaN and IsInf inlined as arithmetic: x != x catches NaN,
+			// the subtraction catches ±Inf.
+			if re != re || im != im || re-re != 0 || im-im != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// resetWindow discards the buffered window so the next packet starts a
+// fresh one — the gap-degradation path. Ring storage is retained; pos
+// returning to zero means no stale slot is ever read before being
+// rewritten (ready requires a full window of new packets).
+func (e *strideEngine) resetWindow() {
+	e.pos = 0
+	e.sinceLast = 0
+	e.haveSmoothed = false
+	e.prevPos = 0
 }
 
 // ready reports whether a full window is buffered and at least one stride of

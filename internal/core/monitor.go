@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"phasebeat/internal/trace"
@@ -21,8 +20,15 @@ type Update struct {
 	// detection in that case.
 	Err error
 	// Dropped is the cumulative number of packets discarded by
-	// drop-on-backlog ingest at the time this update was produced.
+	// drop-on-backlog ingest at the time this update was produced (it
+	// mirrors Health.PacketsDropped).
 	Dropped uint64
+	// Health is the cumulative ingest-health summary at the time this
+	// update was produced: quarantine counts by cause, gap resets, and
+	// backlog shedding. Compare with the previous update's Health (see
+	// Health.Sub) to decide whether the estimate was computed from clean,
+	// continuous data.
+	Health Health
 }
 
 // MonitorConfig configures a streaming Monitor.
@@ -47,8 +53,16 @@ type MonitorConfig struct {
 	// DropOnBacklog makes Ingest non-blocking: when the ingest queue is
 	// full, the oldest queued packet is discarded to make room and counted
 	// in Update.Dropped. Updates are likewise replaced rather than awaited
-	// when the consumer lags. Off by default (lossless, blocking).
+	// when the consumer lags (counted in Health.UpdatesReplaced). Off by
+	// default (lossless, blocking).
 	DropOnBacklog bool
+	// MaxGapSeconds is the timestamp-gap threshold of the gap-degradation
+	// path: when consecutive accepted packets are separated by more than
+	// this, the buffered window is discarded and re-anchored (counted in
+	// Health.GapResets) instead of silently splicing data from before and
+	// after an outage. Zero selects the default of one second (at least
+	// twenty packet intervals); negative disables gap detection.
+	MaxGapSeconds float64
 	// FullRecompute disables the incremental engine and reprocesses the
 	// whole window from raw CSI every stride — the pre-ring-buffer
 	// behavior, kept for A/B comparison and as a benchmark baseline.
@@ -85,7 +99,7 @@ type Monitor struct {
 	stop    chan struct{}
 	done    chan struct{}
 
-	dropped   atomic.Uint64
+	health    healthCounters
 	closeOnce sync.Once
 }
 
@@ -145,7 +159,11 @@ func (m *Monitor) Updates() <-chan Update { return m.updates }
 
 // Dropped returns the cumulative count of packets discarded by
 // drop-on-backlog ingest.
-func (m *Monitor) Dropped() uint64 { return m.dropped.Load() }
+func (m *Monitor) Dropped() uint64 { return m.health.dropped.Load() }
+
+// Health returns the current cumulative ingest-health summary. It is safe
+// to call from any goroutine at any time, including after Close.
+func (m *Monitor) Health() Health { return m.health.snapshot() }
 
 // Ingest submits one packet and returns false after Close. Without
 // DropOnBacklog it blocks until the worker accepts the packet; with it,
@@ -179,7 +197,7 @@ func (m *Monitor) Ingest(p trace.Packet) bool {
 		// send attempt usually succeeds without a drop.
 		select {
 		case <-m.in:
-			m.dropped.Add(1)
+			m.health.dropped.Add(1)
 		default:
 		}
 	}
@@ -192,8 +210,9 @@ func (m *Monitor) Close() {
 	<-m.done
 }
 
-// run is the worker loop: push packets into the stride engine and emit an
-// update whenever a full window plus a stride of new data is buffered.
+// run is the worker loop: quarantine and push packets into the stride
+// engine and emit an update whenever a full window plus a stride of new
+// data is buffered.
 func (m *Monitor) run() {
 	defer close(m.done)
 	defer close(m.updates)
@@ -204,12 +223,33 @@ func (m *Monitor) run() {
 		case <-m.stop:
 			return
 		case p := <-m.in:
-			engine.push(p)
+			verdict, gapReset := engine.push(p)
+			switch verdict {
+			case pushMalformed:
+				m.health.malformed.Add(1)
+				continue
+			case pushNonFinite:
+				m.health.nonFinite.Add(1)
+				continue
+			case pushNonMonotonic:
+				m.health.nonMonotonic.Add(1)
+				continue
+			}
+			m.health.accepted.Add(1)
+			if gapReset {
+				m.health.gapResets.Add(1)
+			}
 			if !engine.ready() {
 				continue
 			}
 			res, err := engine.process()
-			u := Update{Time: p.Time, Result: res, Err: err, Dropped: m.dropped.Load()}
+			u := Update{
+				Time:    p.Time,
+				Result:  res,
+				Err:     err,
+				Dropped: m.health.dropped.Load(),
+				Health:  m.health.snapshot(),
+			}
 			if !m.deliver(u) {
 				return
 			}
@@ -219,7 +259,8 @@ func (m *Monitor) run() {
 
 // deliver hands one update to the consumer. In drop-on-backlog mode a
 // stale undelivered update is replaced by the new one instead of blocking
-// the worker.
+// the worker; every replacement is counted in Health.UpdatesReplaced so a
+// slow consumer can tell estimates went missing.
 func (m *Monitor) deliver(u Update) bool {
 	if !m.cfg.DropOnBacklog {
 		select {
@@ -239,6 +280,10 @@ func (m *Monitor) deliver(u Update) bool {
 		}
 		select {
 		case <-m.updates:
+			m.health.replaced.Add(1)
+			// The in-flight update's snapshot predates this replacement;
+			// refresh it so its Health accounts for the estimate it evicted.
+			u.Health.UpdatesReplaced = m.health.replaced.Load()
 		default:
 		}
 	}

@@ -20,6 +20,13 @@ var ErrNoData = errors.New("core: not enough data")
 // estimation was found (the person was moving or absent).
 var ErrNotStationary = errors.New("core: no stationary segment")
 
+// ErrNonFinite reports NaN/Inf input data (driver glitches, corrupt
+// captures) detected at phase extraction, or an estimator output that
+// came out non-finite. The batch pipeline surfaces it instead of letting
+// a NaN ride silently into a "successful" estimate; the streaming
+// Monitor quarantines such packets before they reach the window.
+var ErrNonFinite = errors.New("core: non-finite data")
+
 // ExtractPhaseDifference computes the unwrapped CSI phase difference
 // between two receive antennas for every subcarrier: the measured quantity
 // of eq. (6), Δ∠CSI_i = ∠CSI_i^(a) − ∠CSI_i^(b), unwrapped over time.
@@ -46,7 +53,11 @@ func extractPhaseDifference(tr *trace.Trace, antennaA, antennaB, workers int) ([
 	err := parallelFor(nSub, workers, func(s int) error {
 		series := make([]float64, nPkt)
 		for k, p := range tr.Packets {
-			series[k] = dsp.WrapPhase(cmplx.Phase(p.CSI[antennaA][s]) - cmplx.Phase(p.CSI[antennaB][s]))
+			d := dsp.WrapPhase(cmplx.Phase(p.CSI[antennaA][s]) - cmplx.Phase(p.CSI[antennaB][s]))
+			if d != d { // NaN CSI: unwrap would smear it across the window
+				return fmt.Errorf("%w: NaN phase difference at subcarrier %d packet %d", ErrNonFinite, s, k)
+			}
+			series[k] = d
 		}
 		// Rotate the series onto its circular mean before unwrapping: the
 		// constant offset Δβ is arbitrary (Theorem 1), and a mean near ±π

@@ -1,0 +1,255 @@
+package csisim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"phasebeat/internal/trace"
+)
+
+// PacketSource is any producer of a CSI packet stream: the Simulator, a
+// trace replayer, or another FaultInjector (faults compose by stacking).
+type PacketSource interface {
+	NextPacket() trace.Packet
+}
+
+// FaultPlan configures a FaultInjector: which transport and driver faults
+// to inject, at what intensity, and during which part of the stream. The
+// zero value injects nothing. All probabilities are per delivered packet.
+//
+// The plan models the field failure modes of commodity CSI capture:
+// packets vanish in bursts (contention, rate control), timestamps jitter
+// and occasionally run backwards (driver batching, clock steps), CSI
+// values arrive as NaN/Inf (firmware glitches), whole antennas fade out
+// (connector/chain faults), packets come up short (truncated DMA), and
+// the nominal sample rate drifts.
+type FaultPlan struct {
+	// ActiveFromS and ActiveUntilS bound the faulty interval in source
+	// trace time (seconds). ActiveUntilS <= 0 means "until the end".
+	// Packets outside the interval pass through untouched, which is what
+	// makes re-convergence after a fault episode testable.
+	ActiveFromS, ActiveUntilS float64
+
+	// LossProb is the probability of starting a loss burst; the burst
+	// length is geometric with mean LossBurstMean packets (minimum 1).
+	// Lost packets are consumed from the source and never delivered.
+	LossProb      float64
+	LossBurstMean float64
+
+	// ReorderProb swaps a packet with its successor, so the consumer sees
+	// a timestamp that runs backwards — the classic driver-batching bug.
+	ReorderProb float64
+
+	// JitterSigmaS adds zero-mean Gaussian noise to delivered timestamps.
+	// A sigma comparable to the packet spacing yields both jitter and
+	// occasional local reordering.
+	JitterSigmaS float64
+
+	// RateDrift skews delivered timestamps by t' = t * (1 + RateDrift),
+	// modeling a capture clock that runs fast or slow.
+	RateDrift float64
+
+	// NaNProb and InfProb corrupt a random CSI cell of the packet with a
+	// NaN (resp. Inf) value, as misreporting firmware does.
+	NaNProb, InfProb float64
+
+	// AntennaDropProb starts an antenna dropout: one random antenna's CSI
+	// row reads all-zero for a geometric burst of mean AntennaDropMean
+	// packets (minimum 1) — a dead RF chain or loose connector.
+	AntennaDropProb float64
+	AntennaDropMean float64
+
+	// TruncateProb delivers a structurally malformed packet whose last
+	// antenna row is cut short — a truncated DMA transfer.
+	TruncateProb float64
+}
+
+// Validate checks the plan's parameters.
+func (p *FaultPlan) Validate() error {
+	for _, pr := range []struct {
+		name string
+		v    float64
+	}{
+		{"LossProb", p.LossProb}, {"ReorderProb", p.ReorderProb},
+		{"NaNProb", p.NaNProb}, {"InfProb", p.InfProb},
+		{"AntennaDropProb", p.AntennaDropProb}, {"TruncateProb", p.TruncateProb},
+	} {
+		if pr.v < 0 || pr.v > 1 {
+			return fmt.Errorf("csisim: fault %s = %v outside [0, 1]", pr.name, pr.v)
+		}
+	}
+	if p.JitterSigmaS < 0 {
+		return fmt.Errorf("csisim: negative timestamp jitter %v", p.JitterSigmaS)
+	}
+	if p.LossBurstMean < 0 || p.AntennaDropMean < 0 {
+		return fmt.Errorf("csisim: negative burst mean")
+	}
+	return nil
+}
+
+// FaultStats counts every fault the injector applied, by kind.
+type FaultStats struct {
+	// Delivered is the number of packets handed to the consumer.
+	Delivered uint64
+	// Lost counts packets consumed from the source but never delivered.
+	Lost uint64
+	// LossBursts counts distinct loss episodes.
+	LossBursts uint64
+	// Reordered counts packet pairs delivered in swapped order.
+	Reordered uint64
+	// NaNCorrupted and InfCorrupted count packets with injected
+	// non-finite CSI cells.
+	NaNCorrupted, InfCorrupted uint64
+	// AntennaDropped counts packets delivered with a zeroed antenna row.
+	AntennaDropped uint64
+	// Truncated counts structurally malformed (short-row) packets.
+	Truncated uint64
+}
+
+// FaultInjector wraps a PacketSource and applies a FaultPlan to its
+// stream. Runs with equal sources, plans and seeds are identical. It is
+// not safe for concurrent use, matching the Simulator.
+type FaultInjector struct {
+	src   PacketSource
+	plan  FaultPlan
+	rng   *rand.Rand
+	stats FaultStats
+
+	// swapped holds the earlier packet of a reordered pair, delivered
+	// after its successor.
+	swapped  *trace.Packet
+	dropLeft int // remaining packets of the current antenna dropout
+	dropAnt  int
+}
+
+// NewFaultInjector validates the plan and builds an injector seeded
+// independently of the source's randomness.
+func NewFaultInjector(src PacketSource, plan FaultPlan, seed int64) (*FaultInjector, error) {
+	if src == nil {
+		return nil, fmt.Errorf("csisim: fault injector needs a packet source")
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return &FaultInjector{src: src, plan: plan, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Stats returns the fault counts so far.
+func (fi *FaultInjector) Stats() FaultStats { return fi.stats }
+
+// active reports whether faults apply at source time t.
+func (fi *FaultInjector) active(t float64) bool {
+	if t < fi.plan.ActiveFromS {
+		return false
+	}
+	return fi.plan.ActiveUntilS <= 0 || t < fi.plan.ActiveUntilS
+}
+
+// burstLen draws a geometric burst length with the given mean (>= 1).
+func (fi *FaultInjector) burstLen(mean float64) int {
+	if mean <= 1 {
+		return 1
+	}
+	// Geometric with success probability 1/mean.
+	n := 1
+	for fi.rng.Float64() > 1/mean {
+		n++
+	}
+	return n
+}
+
+// NextPacket returns the next delivered packet, applying the plan. Lost
+// packets are skipped internally: like the real air interface, the
+// consumer only ever observes the survivors (via their timestamps).
+func (fi *FaultInjector) NextPacket() trace.Packet {
+	for {
+		// A swapped-out predecessor is delivered before pulling new data.
+		if fi.swapped != nil {
+			p := *fi.swapped
+			fi.swapped = nil
+			return fi.corrupt(p)
+		}
+		p := fi.src.NextPacket()
+		if !fi.active(p.Time) {
+			fi.stats.Delivered++
+			return p
+		}
+		if fi.plan.LossProb > 0 && fi.rng.Float64() < fi.plan.LossProb {
+			fi.stats.LossBursts++
+			n := fi.burstLen(fi.plan.LossBurstMean)
+			fi.stats.Lost += uint64(n)
+			for i := 1; i < n; i++ {
+				fi.src.NextPacket()
+			}
+			continue // the burst consumed p and n-1 successors
+		}
+		if fi.plan.ReorderProb > 0 && fi.rng.Float64() < fi.plan.ReorderProb {
+			// Deliver the successor first, then p on the next call.
+			succ := fi.src.NextPacket()
+			fi.swapped = &p
+			fi.stats.Reordered++
+			return fi.corrupt(succ)
+		}
+		return fi.corrupt(p)
+	}
+}
+
+// corrupt applies the in-packet faults (timestamp errors, non-finite
+// cells, antenna dropout, truncation) and counts the delivery.
+func (fi *FaultInjector) corrupt(p trace.Packet) trace.Packet {
+	fi.stats.Delivered++
+	if fi.plan.RateDrift != 0 {
+		p.Time *= 1 + fi.plan.RateDrift
+	}
+	if fi.plan.JitterSigmaS > 0 {
+		p.Time += fi.rng.NormFloat64() * fi.plan.JitterSigmaS
+	}
+	if len(p.CSI) == 0 {
+		return p
+	}
+	if fi.plan.NaNProb > 0 && fi.rng.Float64() < fi.plan.NaNProb {
+		if a, s, ok := fi.randomCell(p); ok {
+			p.CSI[a][s] = complex(math.NaN(), math.NaN())
+			fi.stats.NaNCorrupted++
+		}
+	}
+	if fi.plan.InfProb > 0 && fi.rng.Float64() < fi.plan.InfProb {
+		if a, s, ok := fi.randomCell(p); ok {
+			p.CSI[a][s] = complex(math.Inf(1), imag(p.CSI[a][s]))
+			fi.stats.InfCorrupted++
+		}
+	}
+	if fi.dropLeft == 0 && fi.plan.AntennaDropProb > 0 && fi.rng.Float64() < fi.plan.AntennaDropProb {
+		fi.dropLeft = fi.burstLen(fi.plan.AntennaDropMean)
+		fi.dropAnt = fi.rng.Intn(len(p.CSI))
+	}
+	if fi.dropLeft > 0 {
+		fi.dropLeft--
+		if fi.dropAnt < len(p.CSI) {
+			row := p.CSI[fi.dropAnt]
+			for i := range row {
+				row[i] = 0
+			}
+			fi.stats.AntennaDropped++
+		}
+	}
+	if fi.plan.TruncateProb > 0 && fi.rng.Float64() < fi.plan.TruncateProb {
+		last := len(p.CSI) - 1
+		if n := len(p.CSI[last]); n > 1 {
+			p.CSI[last] = p.CSI[last][:n/2]
+			fi.stats.Truncated++
+		}
+	}
+	return p
+}
+
+// randomCell picks a random (antenna, subcarrier) index of the packet;
+// ok is false when the chosen antenna row is empty.
+func (fi *FaultInjector) randomCell(p trace.Packet) (a, s int, ok bool) {
+	a = fi.rng.Intn(len(p.CSI))
+	if len(p.CSI[a]) == 0 {
+		return a, 0, false
+	}
+	return a, fi.rng.Intn(len(p.CSI[a])), true
+}

@@ -1,0 +1,220 @@
+package csisim
+
+import (
+	"math"
+	"testing"
+
+	"phasebeat/internal/trace"
+)
+
+// faultTestSource returns a simulator suitable as a fault-injector input.
+func faultTestSource(t *testing.T, seed int64) *Simulator {
+	t.Helper()
+	sim, err := FixedRatesScenario([]float64{15}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+func TestFaultPlanValidate(t *testing.T) {
+	bad := []FaultPlan{
+		{LossProb: -0.1},
+		{LossProb: 1.5},
+		{ReorderProb: 2},
+		{NaNProb: -1},
+		{TruncateProb: 1.01},
+		{JitterSigmaS: -0.001},
+		{LossBurstMean: -3},
+	}
+	for i, plan := range bad {
+		if err := plan.Validate(); err == nil {
+			t.Errorf("plan %d: want validation error, got nil", i)
+		}
+	}
+	if err := (&FaultPlan{}).Validate(); err != nil {
+		t.Errorf("zero plan should validate, got %v", err)
+	}
+	if _, err := NewFaultInjector(nil, FaultPlan{}, 1); err == nil {
+		t.Error("want error for nil source")
+	}
+}
+
+// A zero plan is a transparent pass-through.
+func TestFaultInjectorZeroPlanPassesThrough(t *testing.T) {
+	ref := faultTestSource(t, 41)
+	src := faultTestSource(t, 41)
+	fi, err := NewFaultInjector(src, FaultPlan{}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		want := ref.NextPacket()
+		got := fi.NextPacket()
+		if got.Time != want.Time {
+			t.Fatalf("packet %d: time %v, want %v", i, got.Time, want.Time)
+		}
+		for a := range want.CSI {
+			for s := range want.CSI[a] {
+				if got.CSI[a][s] != want.CSI[a][s] {
+					t.Fatalf("packet %d: CSI[%d][%d] differs", i, a, s)
+				}
+			}
+		}
+	}
+	st := fi.Stats()
+	if st.Delivered != 200 || st.Lost != 0 || st.Reordered != 0 {
+		t.Fatalf("unexpected stats for zero plan: %+v", st)
+	}
+}
+
+// Runs with equal sources, plans and seeds must be identical.
+func TestFaultInjectorDeterministic(t *testing.T) {
+	plan := FaultPlan{
+		LossProb: 0.01, LossBurstMean: 5,
+		ReorderProb: 0.02, JitterSigmaS: 0.001,
+		NaNProb: 0.03, InfProb: 0.01,
+		AntennaDropProb: 0.005, AntennaDropMean: 10,
+		TruncateProb: 0.01,
+	}
+	run := func() ([]float64, FaultStats) {
+		fi, err := NewFaultInjector(faultTestSource(t, 5), plan, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times := make([]float64, 500)
+		for i := range times {
+			times[i] = fi.NextPacket().Time
+		}
+		return times, fi.Stats()
+	}
+	t1, s1 := run()
+	t2, s2 := run()
+	if s1 != s2 {
+		t.Fatalf("stats differ across identical runs: %+v vs %+v", s1, s2)
+	}
+	for i := range t1 {
+		same := t1[i] == t2[i] || (math.IsNaN(t1[i]) && math.IsNaN(t2[i]))
+		if !same {
+			t.Fatalf("timestamp %d differs: %v vs %v", i, t1[i], t2[i])
+		}
+	}
+}
+
+// Each fault kind must actually manifest in the delivered stream.
+func TestFaultInjectorInjectsEachKind(t *testing.T) {
+	plan := FaultPlan{
+		LossProb: 0.02, LossBurstMean: 4,
+		ReorderProb: 0.05,
+		NaNProb:     0.05, InfProb: 0.05,
+		AntennaDropProb: 0.02, AntennaDropMean: 5,
+		TruncateProb: 0.03,
+	}
+	fi, err := NewFaultInjector(faultTestSource(t, 6), plan, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawNaN, sawInf, sawBackwards, sawShort, sawZeroRow bool
+	last := math.Inf(-1)
+	for i := 0; i < 2000; i++ {
+		p := fi.NextPacket()
+		if p.Time < last {
+			sawBackwards = true
+		}
+		last = p.Time
+		for _, row := range p.CSI {
+			if len(row) < 30 {
+				sawShort = true
+				continue
+			}
+			zero := true
+			for _, c := range row {
+				re, im := real(c), imag(c)
+				if math.IsNaN(re) || math.IsNaN(im) {
+					sawNaN = true
+				}
+				if math.IsInf(re, 0) || math.IsInf(im, 0) {
+					sawInf = true
+				}
+				if c != 0 {
+					zero = false
+				}
+			}
+			if zero {
+				sawZeroRow = true
+			}
+		}
+	}
+	st := fi.Stats()
+	if st.Lost == 0 || st.LossBursts == 0 {
+		t.Errorf("no losses recorded: %+v", st)
+	}
+	if !sawBackwards || st.Reordered == 0 {
+		t.Errorf("no reordering observed (stats %+v)", st)
+	}
+	if !sawNaN || st.NaNCorrupted == 0 {
+		t.Error("no NaN corruption observed")
+	}
+	if !sawInf || st.InfCorrupted == 0 {
+		t.Error("no Inf corruption observed")
+	}
+	if !sawShort || st.Truncated == 0 {
+		t.Error("no truncated packets observed")
+	}
+	if !sawZeroRow || st.AntennaDropped == 0 {
+		t.Error("no antenna dropout observed")
+	}
+	if st.Delivered != 2000 {
+		t.Errorf("delivered %d, want 2000", st.Delivered)
+	}
+}
+
+// Faults must respect the active window: packets before ActiveFromS and
+// at/after ActiveUntilS pass through clean.
+func TestFaultInjectorActiveWindow(t *testing.T) {
+	plan := FaultPlan{
+		ActiveFromS:  1.0,
+		ActiveUntilS: 2.0,
+		NaNProb:      1.0, // corrupt every in-window packet
+	}
+	fi, err := NewFaultInjector(faultTestSource(t, 8), plan, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nanAt := func(p trace.Packet) bool {
+		for _, row := range p.CSI {
+			for _, c := range row {
+				if math.IsNaN(real(c)) || math.IsNaN(imag(c)) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	// 3 seconds at the fixed-rate scenario's 400 Hz.
+	for i := 0; i < 1200; i++ {
+		p := fi.NextPacket()
+		in := p.Time >= 1.0 && p.Time < 2.0
+		if got := nanAt(p); got != in {
+			t.Fatalf("t=%.3f: corrupted=%v, want %v", p.Time, got, in)
+		}
+	}
+	if st := fi.Stats(); st.NaNCorrupted != 400 {
+		t.Errorf("NaN corrupted %d packets, want 400", st.NaNCorrupted)
+	}
+}
+
+// Rate drift skews delivered timestamps multiplicatively.
+func TestFaultInjectorRateDrift(t *testing.T) {
+	fi, err := NewFaultInjector(faultTestSource(t, 9), FaultPlan{RateDrift: 0.01}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := faultTestSource(t, 9)
+	for i := 0; i < 100; i++ {
+		want := ref.NextPacket().Time * 1.01
+		if got := fi.NextPacket().Time; math.Abs(got-want) > 1e-12 {
+			t.Fatalf("packet %d: time %v, want %v", i, got, want)
+		}
+	}
+}

@@ -22,6 +22,10 @@ const (
 // ErrBadFormat reports a malformed or truncated binary trace.
 var ErrBadFormat = errors.New("trace: bad format")
 
+// maxPreallocBytes bounds how much packet storage Read reserves up front
+// on the strength of the (untrusted) header count alone.
+const maxPreallocBytes = 1 << 20
+
 // Write encodes the trace to w in the PhaseBeat binary format.
 func Write(w io.Writer, t *Trace) error {
 	if err := t.Validate(); err != nil {
@@ -96,12 +100,27 @@ func Read(r io.Reader) (*Trace, error) {
 	if hdr.Version != formatVersion {
 		return nil, fmt.Errorf("%w: version %d (supported: %d)", ErrBadFormat, hdr.Version, formatVersion)
 	}
+	// Write only ever produces validated traces, so a zero antenna or
+	// subcarrier count is corruption (and would make the packet loop read
+	// nothing per packet).
+	if hdr.Antennas == 0 || hdr.Subcarrier == 0 {
+		return nil, fmt.Errorf("%w: %d antennas, %d subcarriers", ErrBadFormat, hdr.Antennas, hdr.Subcarrier)
+	}
+	// The header count is untrusted: a corrupt or hostile file can claim
+	// up to 4 billion packets while carrying none. Pre-allocate only what
+	// a modest read-ahead budget covers and let append grow the rest, so
+	// memory tracks the bytes actually read, never the claimed count.
+	perPacketBytes := 8 + int64(hdr.Antennas)*int64(hdr.Subcarrier)*16
+	prealloc := int64(hdr.Count)
+	if budget := maxPreallocBytes / perPacketBytes; prealloc > budget {
+		prealloc = budget
+	}
 	t := &Trace{
 		SampleRate:     hdr.Rate,
 		CarrierHz:      hdr.Carrier,
 		NumAntennas:    int(hdr.Antennas),
 		NumSubcarriers: int(hdr.Subcarrier),
-		Packets:        make([]Packet, 0, hdr.Count),
+		Packets:        make([]Packet, 0, prealloc),
 	}
 	buf := make([]byte, 8)
 	readF64 := func() (float64, error) {

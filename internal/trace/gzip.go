@@ -29,7 +29,18 @@ func ReadCompressed(r io.Reader) (*Trace, error) {
 		return nil, fmt.Errorf("%w: gzip: %v", ErrBadFormat, err)
 	}
 	defer zr.Close()
-	return Read(zr)
+	t, err := Read(zr)
+	if err != nil {
+		return nil, err
+	}
+	// Read stops after the header's packet count, short of the gzip
+	// trailer, so the stream's checksum has not been verified yet. Poorly
+	// compressible CSI lands in stored deflate blocks where bit rot decodes
+	// without any error — drain to EOF so the CRC check actually runs.
+	if _, err := io.Copy(io.Discard, zr); err != nil {
+		return nil, fmt.Errorf("%w: gzip trailer: %v", ErrBadFormat, err)
+	}
+	return t, nil
 }
 
 // ReadAuto sniffs the stream and decodes any of the three formats: gzip-

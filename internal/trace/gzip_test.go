@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func compressedFixture(t *testing.T) ([]byte, *Trace) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(21))
+	tr := randomTrace(rng, 40, 2, 30)
+	var buf bytes.Buffer
+	if err := WriteCompressed(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), tr
+}
+
+// Truncated gzip streams must surface as ErrBadFormat from both the
+// explicit and the sniffing entry points, at every truncation depth: inside
+// the gzip header, inside the deflate stream, and just short of the
+// trailing checksum.
+func TestReadCompressedTruncated(t *testing.T) {
+	data, _ := compressedFixture(t)
+	for _, n := range []int{4, len(data) / 2, len(data) - 4} {
+		if _, err := ReadCompressed(bytes.NewReader(data[:n])); !errors.Is(err, ErrBadFormat) {
+			t.Errorf("ReadCompressed at %d/%d bytes: want ErrBadFormat, got %v", n, len(data), err)
+		}
+		if _, err := ReadAuto(bytes.NewReader(data[:n])); !errors.Is(err, ErrBadFormat) {
+			t.Errorf("ReadAuto at %d/%d bytes: want ErrBadFormat, got %v", n, len(data), err)
+		}
+	}
+}
+
+// Bit rot inside the deflate stream must never decode silently: either the
+// decompressor or the trace checksum path reports ErrBadFormat.
+func TestReadCompressedCorrupt(t *testing.T) {
+	data, _ := compressedFixture(t)
+	for _, at := range []int{16, len(data) / 2, len(data) - 6} {
+		corrupt := append([]byte(nil), data...)
+		corrupt[at] ^= 0xFF
+		if _, err := ReadAuto(bytes.NewReader(corrupt)); err == nil {
+			t.Errorf("byte flip at %d decoded without error", at)
+		} else if !errors.Is(err, ErrBadFormat) {
+			t.Errorf("byte flip at %d: want ErrBadFormat, got %v", at, err)
+		}
+	}
+}
+
+func TestReadCompressedNotGzip(t *testing.T) {
+	if _, err := ReadCompressed(bytes.NewReader([]byte("PBTR but not gzip"))); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("want ErrBadFormat, got %v", err)
+	}
+}
+
+// ReadAuto still routes a gzip stream whose payload is valid to the binary
+// decoder (round-trip through the sniffing path).
+func TestReadAutoCompressedRoundTrip(t *testing.T) {
+	data, tr := compressedFixture(t)
+	got, err := ReadAuto(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tracesEqual(tr, got) {
+		t.Fatal("sniffed gzip round trip differs")
+	}
+}

@@ -58,6 +58,10 @@ type (
 	MonitorConfig = core.MonitorConfig
 	// Update is one realtime estimate.
 	Update = core.Update
+	// Health is the Monitor's ingest-health summary: quarantine counts by
+	// cause, gap resets, and backlog shedding. A copy rides on every
+	// Update.
+	Health = core.Health
 	// EnvironmentState classifies a detection window.
 	EnvironmentState = core.EnvironmentState
 	// TrackPoint and TrackConfig belong to the offline sliding-window
@@ -90,6 +94,15 @@ type (
 	VitalTruth   = csisim.VitalTruth
 	// Simulator generates CSI packets for a configured scene.
 	Simulator = csisim.Simulator
+	// PacketSource is any producer of a CSI packet stream (the Simulator,
+	// a FaultInjector, a replayer).
+	PacketSource = csisim.PacketSource
+	// FaultPlan configures the packet-stream fault-injection harness;
+	// FaultStats counts what it did; FaultInjector applies a plan to a
+	// PacketSource.
+	FaultPlan     = csisim.FaultPlan
+	FaultStats    = csisim.FaultStats
+	FaultInjector = csisim.FaultInjector
 
 	// BaselineConfig and BaselineEstimate belong to the amplitude-based
 	// comparison method [13].
@@ -117,6 +130,8 @@ var (
 	ErrNoData = core.ErrNoData
 	// ErrNotStationary reports that no usable stationary segment exists.
 	ErrNotStationary = core.ErrNotStationary
+	// ErrNonFinite reports NaN/Inf input data or a non-finite estimate.
+	ErrNonFinite = core.ErrNonFinite
 )
 
 // DefaultConfig returns the paper's 400 Hz operating point.
@@ -195,6 +210,14 @@ func Simulate(sc Scenario, durationS float64) (*Trace, []VitalTruth, error) {
 // NewSimulator builds a streaming simulator for the scenario (for feeding
 // a Monitor in realtime).
 func NewSimulator(sc Scenario) (*Simulator, error) { return sc.Build() }
+
+// NewFaultInjector wraps a packet source with the fault-injection harness
+// (loss bursts, reordering, timestamp jitter, NaN/Inf corruption, antenna
+// dropouts, rate drift) for exercising the Monitor's quarantine and
+// degradation paths.
+func NewFaultInjector(src PacketSource, plan FaultPlan, seed int64) (*FaultInjector, error) {
+	return csisim.NewFaultInjector(src, plan, seed)
+}
 
 // SimulateFixedRates builds a laboratory scene whose persons breathe at
 // exactly the given rates — the controlled setup of the paper's Fig. 8.
