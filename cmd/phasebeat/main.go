@@ -43,6 +43,7 @@ func run(args []string) error {
 	estimator := fs.String("estimator", "", "breathing estimator backend: "+
 		strings.Join(phasebeat.BreathingEstimators(), ", ")+" (empty = person-count dispatch)")
 	stageTimings := fs.Bool("stage-timings", false, "print per-stage pipeline durations")
+	metricsAddr := fs.String("metrics-addr", "", "serve runtime metrics (JSON at /debug/metrics, pprof at /debug/pprof/) on this address, e.g. :9090")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -50,6 +51,20 @@ func run(args []string) error {
 	var timings *phasebeat.TimingObserver
 	if *stageTimings {
 		timings = phasebeat.NewTimingObserver()
+	}
+
+	// The observability endpoint is opt-in: without -metrics-addr the
+	// registry stays nil and every metrics hook downstream is a no-op.
+	var reg *phasebeat.MetricsRegistry
+	if *metricsAddr != "" {
+		reg = phasebeat.NewMetricsRegistry()
+		phasebeat.RegisterTraceMetrics(reg)
+		ln, err := serveMetrics(*metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		fmt.Fprintf(os.Stderr, "phasebeat: metrics at http://%s/debug/metrics\n", ln.Addr())
 	}
 
 	if *watch > 0 {
@@ -63,7 +78,7 @@ func run(args []string) error {
 			NumPersons:    *persons,
 			DirectionalTx: *directional,
 			Seed:          *seed,
-		}, *watch, *persons, *estimator, timings, phasebeat.FaultPlan{
+		}, *watch, *persons, *estimator, timings, reg, phasebeat.FaultPlan{
 			LossProb:      *faultLoss,
 			LossBurstMean: 400, // ~1 s at the default 400 Hz rate
 			ReorderProb:   *faultReorder,
@@ -103,8 +118,8 @@ func run(args []string) error {
 
 	cfg := phasebeat.ConfigForRate(tr.SampleRate)
 	cfg.Estimator = *estimator
+	cfg.Observer = phasebeat.CombineObservers(timings, phasebeat.NewStageMetricsObserver(reg))
 	if timings != nil {
-		cfg.Observer = timings
 		defer func() { fmt.Print(timings.Table()) }()
 	}
 	res, err := phasebeat.ProcessTrace(tr,
@@ -187,7 +202,7 @@ func readTraceFile(path string) (*phasebeat.Trace, error) {
 // plan routes the stream through the fault-injection harness; the ingest
 // health summary annotates each degraded estimate and is printed in full
 // at the end.
-func watchScene(sc phasebeat.Scenario, seconds float64, persons int, estimator string, timings *phasebeat.TimingObserver, faults phasebeat.FaultPlan) error {
+func watchScene(sc phasebeat.Scenario, seconds float64, persons int, estimator string, timings *phasebeat.TimingObserver, reg *phasebeat.MetricsRegistry, faults phasebeat.FaultPlan) error {
 	sim, err := phasebeat.NewSimulator(sc)
 	if err != nil {
 		return err
@@ -204,8 +219,11 @@ func watchScene(sc phasebeat.Scenario, seconds float64, persons int, estimator s
 	cfg.WindowSeconds = 40
 	cfg.UpdateEverySeconds = 10
 	cfg.Pipeline.Estimator = estimator
+	// CombineObservers drops a nil timings; NewMonitor adds the stage-
+	// metrics observer itself when cfg.Metrics is set.
+	cfg.Pipeline.Observer = phasebeat.CombineObservers(timings)
+	cfg.Metrics = reg
 	if timings != nil {
-		cfg.Pipeline.Observer = timings
 		defer func() { fmt.Print(timings.Table()) }()
 	}
 	m, err := phasebeat.NewMonitor(cfg)

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+
+	"phasebeat"
+)
+
+// serveMetrics starts the observability endpoint on addr: the metrics
+// registry's JSON snapshot at /debug/metrics and the pprof handler set
+// at /debug/pprof/. The server runs on its own goroutine for the life
+// of the process; the returned listener lets the caller report the
+// bound address (useful with ":0") and close the port.
+func serveMetrics(addr string, reg *phasebeat.MetricsRegistry) (net.Listener, error) {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/metrics", reg)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics listener: %w", err)
+	}
+	go func() {
+		// Serve returns when the listener closes at process exit; any
+		// earlier error is worth a line but must not kill the pipeline.
+		if err := http.Serve(ln, mux); err != nil && !errors.Is(err, net.ErrClosed) {
+			fmt.Fprintln(os.Stderr, "phasebeat: metrics server:", err)
+		}
+	}()
+	return ln, nil
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"phasebeat/internal/csisim"
+	"phasebeat/internal/metrics"
+)
+
+// countingObserver records callback counts for CombineObservers tests.
+type countingObserver struct {
+	mu           sync.Mutex
+	starts, ends int
+}
+
+func (c *countingObserver) OnStageStart(string) {
+	c.mu.Lock()
+	c.starts++
+	c.mu.Unlock()
+}
+
+func (c *countingObserver) OnStageEnd(StageStats) {
+	c.mu.Lock()
+	c.ends++
+	c.mu.Unlock()
+}
+
+func TestCombineObservers(t *testing.T) {
+	if got := CombineObservers(); got != nil {
+		t.Fatalf("no observers should combine to nil, got %T", got)
+	}
+	// Untyped and typed nils (a disabled *StageMetrics, an unset
+	// *TimingObserver) must all be dropped.
+	var sm *StageMetrics
+	var to *TimingObserver
+	if got := CombineObservers(nil, sm, to, NewStageMetrics(nil)); got != nil {
+		t.Fatalf("all-nil observers should combine to nil, got %T", got)
+	}
+	a := &countingObserver{}
+	if got := CombineObservers(nil, a, sm); got != StageObserver(a) {
+		t.Fatalf("single survivor should pass through unwrapped, got %T", got)
+	}
+	b := &countingObserver{}
+	combined := CombineObservers(a, b)
+	combined.OnStageStart(StageExtract)
+	combined.OnStageEnd(StageStats{Stage: StageExtract})
+	if a.starts != 1 || a.ends != 1 || b.starts != 1 || b.ends != 1 {
+		t.Fatalf("fan-out miscounted: a=%d/%d b=%d/%d", a.starts, a.ends, b.starts, b.ends)
+	}
+}
+
+func TestStageMetricsRecordsPipelineRun(t *testing.T) {
+	sim, err := csisim.FixedRatesScenario([]float64{17}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sim.Generate(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	cfg := DefaultConfig()
+	cfg.Observer = NewStageMetrics(reg)
+	proc, err := NewProcessor(WithConfig(cfg), WithPersons(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := proc.Process(tr); err != nil {
+		t.Fatal(err)
+	}
+	for _, stage := range StageNames() {
+		h := reg.Histogram(metricStagePrefix+stage+metricStageSecondsSuffix, metrics.DefLatencyBuckets)
+		if h.Count() != 1 {
+			t.Errorf("stage %s: %d observations, want 1", stage, h.Count())
+		}
+		if e := reg.Counter(metricStagePrefix + stage + metricStageErrorsSuffix); e.Value() != 0 {
+			t.Errorf("stage %s: %d errors on a clean run", stage, e.Value())
+		}
+	}
+}
+
+func TestStageMetricsCountsErrors(t *testing.T) {
+	reg := metrics.NewRegistry()
+	sm := NewStageMetrics(reg)
+	sm.OnStageEnd(StageStats{Stage: StageSegment, Duration: time.Millisecond, Err: errors.New("boom")})
+	// An unknown stage name must be adopted lazily, not dropped.
+	sm.OnStageEnd(StageStats{Stage: "custom", Duration: time.Microsecond})
+	if e := reg.Counter(metricStagePrefix + StageSegment + metricStageErrorsSuffix); e.Value() != 1 {
+		t.Fatalf("segment errors = %d, want 1", e.Value())
+	}
+	if h := reg.Histogram(metricStagePrefix+"custom"+metricStageSecondsSuffix, metrics.DefLatencyBuckets); h.Count() != 1 {
+		t.Fatalf("custom stage observations = %d, want 1", h.Count())
+	}
+}
+
+// TestMonitorMetricsEndToEnd runs a Monitor with a registry wired and
+// checks every metric family the endpoint is expected to serve: stage
+// latency histograms, the stride histogram, the updates counter and the
+// quarantine/health callback gauges.
+func TestMonitorMetricsEndToEnd(t *testing.T) {
+	sim, err := csisim.FixedRatesScenario([]float64{18}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	cfg := allocTestConfig()
+	cfg.Metrics = reg
+	m, err := NewMonitor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	done := make(chan int)
+	go func() {
+		n := 0
+		for range m.Updates() {
+			n++
+		}
+		done <- n
+	}()
+
+	// One full window plus two strides, with two quarantine-bound packets
+	// mixed in (wrong shape, NaN cell).
+	total := int((cfg.WindowSeconds + 2*cfg.UpdateEverySeconds) * cfg.SampleRate)
+	for i := 0; i < total; i++ {
+		p := sim.NextPacket()
+		if i == 10 {
+			bad := p.Clone()
+			bad.CSI = bad.CSI[:1]
+			m.Ingest(bad)
+		}
+		if i == 20 {
+			bad := p.Clone()
+			bad.CSI[0][0] = complex(math.NaN(), 0)
+			m.Ingest(bad)
+		}
+		if !m.Ingest(p) {
+			t.Fatal("ingest refused mid-stream")
+		}
+	}
+	// Close abandons packets still buffered in the ingest channel, so
+	// wait for the worker to drain everything before shutting down.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		h := m.Health()
+		if h.Accepted+h.QuarantinedMalformed+h.QuarantinedNonFinite+h.QuarantinedNonMonotonic >= uint64(total)+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("monitor never drained ingest: %+v", h)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	m.Close()
+	updates := <-done
+	if updates == 0 {
+		t.Fatal("no updates emitted")
+	}
+
+	snap := reg.Snapshot()
+	if got := snap[metricUpdatesEmitted].(uint64); got != uint64(updates) {
+		t.Errorf("updates counter = %d, delivered %d", got, updates)
+	}
+	// Every delivered update implies a timed stride; the final stride may
+	// have been processed but lose its delivery race against Close, so
+	// the histogram can run at most one ahead of the delivered count.
+	stride := reg.Histogram(metricStrideSeconds, metrics.DefLatencyBuckets)
+	if c := stride.Count(); c < uint64(updates) || c > uint64(updates)+1 {
+		t.Errorf("stride histogram count = %d, delivered %d", c, updates)
+	}
+	// The incremental engine reports smooth and gate through the stage
+	// observer; downstream stages run per stride through the shared graph.
+	for _, stage := range []string{StageSmooth, StageGate, StageEstimate} {
+		h := reg.Histogram(metricStagePrefix+stage+metricStageSecondsSuffix, metrics.DefLatencyBuckets)
+		if h.Count() == 0 {
+			t.Errorf("stage %s histogram empty", stage)
+		}
+	}
+	if got := snap[metricHealthPrefix+"quarantined.malformed"].(float64); got != 1 {
+		t.Errorf("malformed gauge = %v, want 1", got)
+	}
+	if got := snap[metricHealthPrefix+"quarantined.nonfinite"].(float64); got != 1 {
+		t.Errorf("nonfinite gauge = %v, want 1", got)
+	}
+	if got := snap[metricHealthPrefix+"accepted"].(float64); got != float64(total) {
+		t.Errorf("accepted gauge = %v, want %d", got, total)
+	}
+}

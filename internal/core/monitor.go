@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"phasebeat/internal/metrics"
 	"phasebeat/internal/trace"
 )
 
@@ -67,6 +68,13 @@ type MonitorConfig struct {
 	// whole window from raw CSI every stride — the pre-ring-buffer
 	// behavior, kept for A/B comparison and as a benchmark baseline.
 	FullRecompute bool
+	// Metrics, when non-nil, receives the monitor's runtime metrics:
+	// per-stage latency histograms (via an implicit StageMetrics observer
+	// combined with any configured Pipeline.Observer), a stride-latency
+	// histogram, an updates counter, and callback gauges over the
+	// quarantine/health counters. Nil (the default) disables metrics with
+	// zero overhead — no observer is attached and no clock is read.
+	Metrics *metrics.Registry
 }
 
 // DefaultMonitorConfig returns a realtime configuration: one-minute
@@ -100,6 +108,7 @@ type Monitor struct {
 	done    chan struct{}
 
 	health    healthCounters
+	metrics   monitorMetrics
 	closeOnce sync.Once
 }
 
@@ -127,6 +136,11 @@ func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
 	if cfg.IngestBuffer < 1 {
 		cfg.IngestBuffer = 1
 	}
+	// A configured registry observes the stage graph too: stage latency
+	// histograms ride the same StageObserver hooks -stage-timings uses.
+	if cfg.Metrics != nil {
+		cfg.Pipeline.Observer = CombineObservers(cfg.Pipeline.Observer, NewStageMetrics(cfg.Metrics))
+	}
 	proc, err := NewProcessor(WithConfig(cfg.Pipeline), WithPersons(cfg.Persons))
 	if err != nil {
 		return nil, err
@@ -149,6 +163,7 @@ func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
 		stop:      make(chan struct{}),
 		done:      make(chan struct{}),
 	}
+	m.metrics = m.registerMetrics(cfg.Metrics)
 	go m.run()
 	return m, nil
 }
@@ -242,7 +257,16 @@ func (m *Monitor) run() {
 			if !engine.ready() {
 				continue
 			}
+			// Time the stride only when a registry is wired; the disabled
+			// path reads no clock.
+			var t0 time.Time
+			if m.metrics.strideSeconds != nil {
+				t0 = time.Now()
+			}
 			res, err := engine.process()
+			if m.metrics.strideSeconds != nil {
+				m.metrics.strideSeconds.Observe(time.Since(t0).Seconds())
+			}
 			u := Update{
 				Time:    p.Time,
 				Result:  res,
@@ -253,6 +277,7 @@ func (m *Monitor) run() {
 			if !m.deliver(u) {
 				return
 			}
+			m.metrics.updates.Inc()
 		}
 	}
 }

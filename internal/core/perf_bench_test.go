@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"math"
+	"math/rand"
 	"runtime"
 	"testing"
 
@@ -45,6 +47,61 @@ func BenchmarkPipelineProcess(b *testing.B) {
 			}
 			b.ReportMetric(float64(tr.Len())*float64(b.N)/b.Elapsed().Seconds(), "packets/sec")
 		})
+	}
+}
+
+// BenchmarkQuarantinePush measures the Monitor's per-packet ingest hot
+// path: quarantine validation (shape, finiteness, monotonic time) plus
+// the ring-cache update of the incremental engine. This is the path
+// every live packet crosses, so it must stay allocation-free and in the
+// hundreds of nanoseconds.
+func BenchmarkQuarantinePush(b *testing.B) {
+	cfg := DefaultMonitorConfig()
+	proc, err := NewProcessor(WithConfig(cfg.Pipeline), WithPersons(cfg.Persons))
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := newStrideEngine(&cfg, proc)
+	sim, err := csisim.FixedRatesScenario([]float64{17}, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := make([]trace.Packet, 4096)
+	for i := range pool {
+		pool[i] = sim.NextPacket()
+	}
+	dt := 1 / cfg.SampleRate
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Cycle the pool but keep timestamps monotonic, or the wrap
+		// would route every later packet into the rejection path.
+		p := pool[i%len(pool)]
+		p.Time = float64(i) * dt
+		if v, _ := eng.push(p); v != pushAccepted {
+			b.Fatalf("packet %d rejected: %v", i, v)
+		}
+	}
+}
+
+// BenchmarkDWTDenoise measures the wavelet band-extraction stage over a
+// one-minute calibrated series at the default 20 Hz estimation rate.
+func BenchmarkDWTDenoise(b *testing.B) {
+	cfg := DefaultConfig()
+	fs := 400.0 / float64(cfg.DownsampleFactor)
+	n := int(60 * fs)
+	series := make([]float64, n)
+	rng := rand.New(rand.NewSource(3))
+	for t := range series {
+		ti := float64(t) / fs
+		series[t] = math.Sin(2*math.Pi*0.28*ti) + 0.2*math.Sin(2*math.Pi*1.8*ti) + 0.05*rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DenoiseDWT(series, fs, &cfg); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

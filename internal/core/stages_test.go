@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"math"
 	"reflect"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"phasebeat/internal/csisim"
 	"phasebeat/internal/trace"
@@ -452,5 +454,56 @@ func TestStageErrorFormatting(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), StageSegment) {
 		t.Errorf("StageError message %q does not name the stage", err.Error())
+	}
+}
+
+// TestTimingObserverConcurrent hammers one shared TimingObserver from
+// many goroutines — a batch run, the stride worker and an evaluation
+// loop can all report into the same collector — interleaving OnStageEnd
+// with Table renders. Run under -race this pins the observer's
+// synchronization; the final table must also account for every single
+// observation.
+func TestTimingObserverConcurrent(t *testing.T) {
+	o := NewTimingObserver()
+	stages := StageNames()
+	const workers = 8
+	const perWorker = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				s := stages[(seed+i)%len(stages)]
+				o.OnStageStart(s)
+				o.OnStageEnd(StageStats{Stage: s, Duration: time.Microsecond, Samples: i, Subcarriers: 3})
+				if i%97 == 0 {
+					if tbl := o.Table(); !strings.Contains(tbl, "all stages") {
+						t.Error("concurrent Table render truncated")
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	known := make(map[string]bool, len(stages))
+	for _, s := range stages {
+		known[s] = true
+	}
+	var runs int
+	for _, line := range strings.Split(o.Table(), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 2 || !known[fields[0]] {
+			continue
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil {
+			t.Fatalf("unparsable runs column in %q: %v", line, err)
+		}
+		runs += n
+	}
+	if want := workers * perWorker; runs != want {
+		t.Fatalf("table accounts for %d observations, want %d", runs, want)
 	}
 }

@@ -75,11 +75,24 @@ func Write(w io.Writer, t *Trace) error {
 	if err := bw.Flush(); err != nil {
 		return fmt.Errorf("trace: flush: %w", err)
 	}
+	statTracesWritten.Inc()
+	statPacketsWritten.Add(uint64(len(t.Packets)))
 	return nil
 }
 
 // Read decodes a trace previously written with Write.
 func Read(r io.Reader) (*Trace, error) {
+	t, err := readBinary(r)
+	if err != nil {
+		statDecodeErrors.Inc()
+		return nil, err
+	}
+	statTracesRead.Inc()
+	statPacketsRead.Add(uint64(len(t.Packets)))
+	return t, nil
+}
+
+func readBinary(r io.Reader) (*Trace, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(formatMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
@@ -215,6 +228,7 @@ func (w *Writer) WritePacket(p Packet) error {
 		}
 	}
 	w.count++
+	statPacketsWritten.Inc()
 	return nil
 }
 

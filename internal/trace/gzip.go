@@ -26,6 +26,7 @@ func WriteCompressed(w io.Writer, t *Trace) error {
 func ReadCompressed(r io.Reader) (*Trace, error) {
 	zr, err := gzip.NewReader(r)
 	if err != nil {
+		statDecodeErrors.Inc()
 		return nil, fmt.Errorf("%w: gzip: %v", ErrBadFormat, err)
 	}
 	defer zr.Close()
@@ -38,6 +39,7 @@ func ReadCompressed(r io.Reader) (*Trace, error) {
 	// compressible CSI lands in stored deflate blocks where bit rot decodes
 	// without any error — drain to EOF so the CRC check actually runs.
 	if _, err := io.Copy(io.Discard, zr); err != nil {
+		statDecodeErrors.Inc()
 		return nil, fmt.Errorf("%w: gzip trailer: %v", ErrBadFormat, err)
 	}
 	return t, nil
@@ -49,6 +51,7 @@ func ReadAuto(r io.Reader) (*Trace, error) {
 	br := bufio.NewReader(r)
 	head, err := br.Peek(4)
 	if err != nil {
+		statDecodeErrors.Inc()
 		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
 	}
 	switch {

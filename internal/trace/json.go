@@ -63,11 +63,24 @@ func WriteJSON(w io.Writer, t *Trace) error {
 	if err := bw.Flush(); err != nil {
 		return fmt.Errorf("trace: flush: %w", err)
 	}
+	statTracesWritten.Inc()
+	statPacketsWritten.Add(uint64(len(t.Packets)))
 	return nil
 }
 
 // ReadJSON decodes a trace written with WriteJSON.
 func ReadJSON(r io.Reader) (*Trace, error) {
+	t, err := readJSON(r)
+	if err != nil {
+		statDecodeErrors.Inc()
+		return nil, err
+	}
+	statTracesRead.Inc()
+	statPacketsRead.Add(uint64(len(t.Packets)))
+	return t, nil
+}
+
+func readJSON(r io.Reader) (*Trace, error) {
 	dec := json.NewDecoder(bufio.NewReader(r))
 	var hdr jsonHeader
 	if err := dec.Decode(&hdr); err != nil {

@@ -1,0 +1,37 @@
+package trace
+
+import "phasebeat/internal/metrics"
+
+// Codec telemetry: package-level counters incremented by every decode
+// and encode, in whichever format (ReadAuto and the gzip wrappers route
+// through Read/ReadJSON, so each logical trace is counted once). The
+// counters are plain atomics and always on — one add per trace plus one
+// per streamed packet, negligible against the float traffic of either
+// codec — and are invisible until RegisterMetrics exports them into a
+// registry.
+var (
+	statTracesRead     = metrics.NewCounter()
+	statTracesWritten  = metrics.NewCounter()
+	statPacketsRead    = metrics.NewCounter()
+	statPacketsWritten = metrics.NewCounter()
+	statDecodeErrors   = metrics.NewCounter()
+)
+
+// RegisterMetrics exports the codec counters into r under the "trace."
+// namespace:
+//
+//	trace.reads            traces decoded successfully (any format)
+//	trace.writes           traces encoded successfully (any format)
+//	trace.packets.read     packets carried by decoded traces
+//	trace.packets.written  packets encoded, batch or streamed
+//	trace.decode_errors    failed decodes (bad magic, truncation, ...)
+//
+// The counters are process-global: registering them in two registries
+// exports the same underlying values. A nil registry is a no-op.
+func RegisterMetrics(r *metrics.Registry) {
+	r.Register("trace.reads", statTracesRead)
+	r.Register("trace.writes", statTracesWritten)
+	r.Register("trace.packets.read", statPacketsRead)
+	r.Register("trace.packets.written", statPacketsWritten)
+	r.Register("trace.decode_errors", statDecodeErrors)
+}

@@ -1,0 +1,63 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"phasebeat/internal/metrics"
+)
+
+// TestCodecMetrics pins the codec counters: reads, writes, packet
+// counts and decode errors all move with codec traffic, and
+// RegisterMetrics exposes them under the "trace." namespace. The
+// counters are process-global, so the test asserts deltas.
+func TestCodecMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	RegisterMetrics(reg)
+
+	reads0 := statTracesRead.Value()
+	writes0 := statTracesWritten.Value()
+	pktsR0 := statPacketsRead.Value()
+	pktsW0 := statPacketsWritten.Value()
+	errs0 := statDecodeErrors.Value()
+
+	tr := randomTrace(rand.New(rand.NewSource(1)), 5, 3, 30)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(strings.NewReader("not a trace at all")); err == nil {
+		t.Fatal("want decode error")
+	}
+
+	if d := statTracesWritten.Value() - writes0; d != 1 {
+		t.Errorf("traces written delta = %d, want 1", d)
+	}
+	if d := statTracesRead.Value() - reads0; d != 1 {
+		t.Errorf("traces read delta = %d, want 1", d)
+	}
+	if d := statPacketsWritten.Value() - pktsW0; d != 5 {
+		t.Errorf("packets written delta = %d, want 5", d)
+	}
+	if d := statPacketsRead.Value() - pktsR0; d != 5 {
+		t.Errorf("packets read delta = %d, want 5", d)
+	}
+	if d := statDecodeErrors.Value() - errs0; d != 1 {
+		t.Errorf("decode errors delta = %d, want 1", d)
+	}
+
+	snap := reg.Snapshot()
+	for _, name := range []string{
+		"trace.reads", "trace.writes", "trace.packets.read",
+		"trace.packets.written", "trace.decode_errors",
+	} {
+		if _, ok := snap[name]; !ok {
+			t.Errorf("metric %q not registered", name)
+		}
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"phasebeat/internal/baseline"
 	"phasebeat/internal/core"
 	"phasebeat/internal/csisim"
+	"phasebeat/internal/metrics"
 	"phasebeat/internal/trace"
 )
 
@@ -80,6 +81,16 @@ type (
 	// TimingObserver is a concurrency-safe StageObserver that aggregates
 	// per-stage durations across runs.
 	TimingObserver = core.TimingObserver
+	// MetricsRegistry is a named collection of runtime metrics (counters,
+	// gauges, latency histograms) with an expvar-style JSON snapshot; it
+	// implements http.Handler. A nil registry is the disabled state: all
+	// wiring that accepts one degrades to no-ops.
+	MetricsRegistry = metrics.Registry
+	// MetricsHistogram is a fixed-bucket, lock-free latency histogram.
+	MetricsHistogram = metrics.Histogram
+	// StageMetricsObserver is a StageObserver recording per-stage latency
+	// histograms and error counters into a MetricsRegistry.
+	StageMetricsObserver = core.StageMetrics
 
 	// Trace is a CSI capture; Packet is one CSI measurement.
 	Trace  = trace.Trace
@@ -154,6 +165,28 @@ func WithObserver(obs StageObserver) ProcessorOption { return core.WithObserver(
 // NewTimingObserver returns an empty stage-timing collector; attach it via
 // WithObserver or Config.Observer and render it with Table.
 func NewTimingObserver() *TimingObserver { return core.NewTimingObserver() }
+
+// NewMetricsRegistry returns an empty metrics registry. Mount it on an
+// HTTP mux (it implements http.Handler), hand it to
+// MonitorConfig.Metrics, attach NewStageMetricsObserver for batch runs,
+// and export the trace-codec counters with RegisterTraceMetrics.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// NewStageMetricsObserver returns a StageObserver that records each
+// stage completion into r as a latency histogram
+// (pipeline.stage.<name>.seconds) and an error counter. A nil registry
+// yields a disabled observer that CombineObservers drops.
+func NewStageMetricsObserver(r *MetricsRegistry) *StageMetricsObserver {
+	return core.NewStageMetrics(r)
+}
+
+// CombineObservers merges stage observers into one, skipping nils; it
+// returns nil when nothing remains.
+func CombineObservers(obs ...StageObserver) StageObserver { return core.CombineObservers(obs...) }
+
+// RegisterTraceMetrics exports the trace codec's counters (traces and
+// packets read/written, decode errors) into r under "trace.".
+func RegisterTraceMetrics(r *MetricsRegistry) { trace.RegisterMetrics(r) }
 
 // PipelineStages lists the pipeline's stage names in execution order.
 func PipelineStages() []string { return core.StageNames() }
