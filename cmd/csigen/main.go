@@ -44,6 +44,10 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	// Echo the seed to stderr so a trace referenced from a flight-recorder
+	// dump can be regenerated exactly from its generation log.
+	fmt.Fprintf(os.Stderr, "csigen: seed %d (scenario %s, rate %.0f Hz, duration %.0f s)\n",
+		*seed, *scenario, *rate, *duration)
 	tr, truth, err := phasebeat.Simulate(phasebeat.Scenario{
 		Kind:          kind,
 		TxRxDistanceM: *distance,

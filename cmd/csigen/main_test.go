@@ -1,8 +1,10 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"phasebeat"
@@ -28,6 +30,31 @@ func TestRunGeneratesReadableTrace(t *testing.T) {
 	}
 	if tr.Len() != 800 { // 2 s at 400 Hz
 		t.Errorf("packets = %d, want 800", tr.Len())
+	}
+}
+
+// TestRunEchoesSeed pins the stderr seed echo: flight-recorder dumps
+// reference traces by generation parameters, so the line must name the
+// exact seed needed to regenerate one.
+func TestRunEchoesSeed(t *testing.T) {
+	rd, wr, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	origStderr := os.Stderr
+	os.Stderr = wr
+	runErr := run([]string{
+		"-out", filepath.Join(t.TempDir(), "t.pbtr"), "-duration", "0.5", "-seed", "424242",
+	})
+	os.Stderr = origStderr
+	wr.Close()
+	captured, _ := io.ReadAll(rd)
+	rd.Close()
+	if runErr != nil {
+		t.Fatalf("run: %v", runErr)
+	}
+	if !strings.Contains(string(captured), "seed 424242") {
+		t.Fatalf("stderr missing seed echo:\n%s", captured)
 	}
 }
 

@@ -7,11 +7,14 @@
 //
 //	phasebeat -in trace.pbtr [-persons 1] [-verbose] [-estimator peaks] [-stage-timings]
 //	phasebeat -simulate [-scenario lab] [-duration 60] [-seed 1] [-persons 1]
+//	phasebeat -watch 120 -fault-nan 0.05 -explain -flight-dir ./flight -log warn
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 
@@ -44,6 +47,10 @@ func run(args []string) error {
 		strings.Join(phasebeat.BreathingEstimators(), ", ")+" (empty = person-count dispatch)")
 	stageTimings := fs.Bool("stage-timings", false, "print per-stage pipeline durations")
 	metricsAddr := fs.String("metrics-addr", "", "serve runtime metrics (JSON at /debug/metrics, pprof at /debug/pprof/) on this address, e.g. :9090")
+	explainTrace := fs.Bool("explain", false, "record per-stage explain traces and print the last one as JSON at exit")
+	flightDir := fs.String("flight-dir", "", "write flight-recorder dumps into this directory when an anomaly trigger fires")
+	flightJump := fs.Float64("flight-jump-bpm", 0, "flight recorder: estimate-jump trigger threshold in BPM (0 = default 10, negative disables)")
+	logLevel := fs.String("log", "", "structured event logging to stderr at this level: debug, info, warn or error (empty = silent)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,13 +60,32 @@ func run(args []string) error {
 		timings = phasebeat.NewTimingObserver()
 	}
 
+	logger, err := newLogger(*logLevel)
+	if err != nil {
+		return err
+	}
+
+	// Like the metrics registry, the explain recorder is opt-in: without
+	// -explain or -flight-dir it stays nil and no evidence is computed.
+	var rec *phasebeat.ExplainRecorder
+	if *explainTrace || *flightDir != "" {
+		rec, err = phasebeat.NewExplainRecorder(phasebeat.ExplainConfig{
+			Dir:     *flightDir,
+			JumpBPM: *flightJump,
+			Logger:  logger,
+		})
+		if err != nil {
+			return err
+		}
+	}
+
 	// The observability endpoint is opt-in: without -metrics-addr the
 	// registry stays nil and every metrics hook downstream is a no-op.
 	var reg *phasebeat.MetricsRegistry
 	if *metricsAddr != "" {
 		reg = phasebeat.NewMetricsRegistry()
 		phasebeat.RegisterTraceMetrics(reg)
-		ln, err := serveMetrics(*metricsAddr, reg)
+		ln, err := serveMetrics(*metricsAddr, reg, rec)
 		if err != nil {
 			return err
 		}
@@ -78,7 +104,7 @@ func run(args []string) error {
 			NumPersons:    *persons,
 			DirectionalTx: *directional,
 			Seed:          *seed,
-		}, *watch, *persons, *estimator, timings, reg, phasebeat.FaultPlan{
+		}, *watch, *persons, *estimator, timings, reg, rec, logger, *explainTrace, phasebeat.FaultPlan{
 			LossProb:      *faultLoss,
 			LossBurstMean: 400, // ~1 s at the default 400 Hz rate
 			ReorderProb:   *faultReorder,
@@ -89,7 +115,6 @@ func run(args []string) error {
 	var (
 		tr    *phasebeat.Trace
 		truth []phasebeat.VitalTruth
-		err   error
 	)
 	switch {
 	case *simulate:
@@ -118,12 +143,18 @@ func run(args []string) error {
 
 	cfg := phasebeat.ConfigForRate(tr.SampleRate)
 	cfg.Estimator = *estimator
-	cfg.Observer = phasebeat.CombineObservers(timings, phasebeat.NewStageMetricsObserver(reg))
+	cfg.Observer = phasebeat.CombineObservers(timings, phasebeat.NewStageMetricsObserver(reg), rec)
 	if timings != nil {
 		defer func() { fmt.Print(timings.Table()) }()
 	}
 	res, err := phasebeat.ProcessTrace(tr,
 		phasebeat.WithConfig(cfg), phasebeat.WithPersons(*persons))
+	if rec != nil {
+		rec.RecordResult(res, err)
+		if *explainTrace {
+			defer printExplain(rec)
+		}
+	}
 	if err != nil {
 		return err
 	}
@@ -165,6 +196,35 @@ func run(args []string) error {
 	return nil
 }
 
+// newLogger builds the stderr slog logger for -log; an empty level
+// returns nil, which keeps every logging hook silent.
+func newLogger(level string) (*slog.Logger, error) {
+	if level == "" {
+		return nil, nil
+	}
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log level %q (debug, info, warn, error)", level)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})), nil
+}
+
+// printExplain prints the recorder's most recent trace as indented JSON —
+// the -explain output.
+func printExplain(rec *phasebeat.ExplainRecorder) {
+	tr := rec.Last()
+	if tr == nil {
+		fmt.Fprintln(os.Stderr, "phasebeat: no explain trace recorded")
+		return
+	}
+	data, err := json.MarshalIndent(tr, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phasebeat: explain trace:", err)
+		return
+	}
+	fmt.Printf("\nexplain trace (seq %d):\n%s\n", tr.Seq, data)
+}
+
 func oneBased(idx []int) []int {
 	out := make([]int, len(idx))
 	for i, v := range idx {
@@ -201,8 +261,9 @@ func readTraceFile(path string) (*phasebeat.Trace, error) {
 // periodic estimate — the realtime deployment shape. A non-zero fault
 // plan routes the stream through the fault-injection harness; the ingest
 // health summary annotates each degraded estimate and is printed in full
-// at the end.
-func watchScene(sc phasebeat.Scenario, seconds float64, persons int, estimator string, timings *phasebeat.TimingObserver, reg *phasebeat.MetricsRegistry, faults phasebeat.FaultPlan) error {
+// at the end. A wired explain recorder rides the stage-observer and
+// update-observer hooks, dumping flight bundles when its triggers fire.
+func watchScene(sc phasebeat.Scenario, seconds float64, persons int, estimator string, timings *phasebeat.TimingObserver, reg *phasebeat.MetricsRegistry, rec *phasebeat.ExplainRecorder, logger *slog.Logger, printTrace bool, faults phasebeat.FaultPlan) error {
 	sim, err := phasebeat.NewSimulator(sc)
 	if err != nil {
 		return err
@@ -219,10 +280,19 @@ func watchScene(sc phasebeat.Scenario, seconds float64, persons int, estimator s
 	cfg.WindowSeconds = 40
 	cfg.UpdateEverySeconds = 10
 	cfg.Pipeline.Estimator = estimator
-	// CombineObservers drops a nil timings; NewMonitor adds the stage-
-	// metrics observer itself when cfg.Metrics is set.
-	cfg.Pipeline.Observer = phasebeat.CombineObservers(timings)
+	// CombineObservers drops a nil timings/rec; NewMonitor adds the stage-
+	// metrics observer itself when cfg.Metrics is set. The UpdateObserver
+	// field is an interface, so the nil recorder must not be assigned
+	// directly (a typed nil would defeat the enabled check).
+	cfg.Pipeline.Observer = phasebeat.CombineObservers(timings, rec)
 	cfg.Metrics = reg
+	cfg.Logger = logger
+	if rec != nil {
+		cfg.UpdateObserver = rec
+		if printTrace {
+			defer printExplain(rec)
+		}
+	}
 	if timings != nil {
 		defer func() { fmt.Print(timings.Table()) }()
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -56,6 +57,47 @@ func TestRunValidation(t *testing.T) {
 	}
 	if err := run([]string{"-simulate", "-estimator", "bogus"}); err == nil {
 		t.Error("want error for unknown estimator backend")
+	}
+	if err := run([]string{"-simulate", "-log", "bogus"}); err == nil {
+		t.Error("want error for unknown log level")
+	}
+}
+
+// TestRunBatchExplain runs the batch pipeline with -explain and checks
+// the trace print path does not break the run.
+func TestRunBatchExplain(t *testing.T) {
+	path := writeTestTrace(t)
+	if err := run([]string{"-in", path, "-explain"}); err != nil {
+		t.Fatalf("run -explain: %v", err)
+	}
+}
+
+// TestRunWatchFlightDump is the CLI acceptance check: a faulty watch run
+// with -flight-dir must leave a quarantine-spike flight bundle behind.
+func TestRunWatchFlightDump(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{
+		"-watch", "55", "-seed", "9", "-fault-nan", "0.1",
+		"-explain", "-flight-dir", dir, "-log", "error",
+	})
+	if err != nil {
+		t.Fatalf("run -watch -flight-dir: %v", err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "flight-*-quarantine-spike.json"))
+	if err != nil || len(files) == 0 {
+		all, _ := filepath.Glob(filepath.Join(dir, "*"))
+		t.Fatalf("no quarantine-spike dump written; dir holds %v", all)
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump phasebeat.FlightDump
+	if err := json.Unmarshal(data, &dump); err != nil {
+		t.Fatalf("dump is not valid JSON: %v", err)
+	}
+	if dump.Trigger != "quarantine-spike" || len(dump.Entries) == 0 {
+		t.Fatalf("dump = trigger %q with %d entries", dump.Trigger, len(dump.Entries))
 	}
 }
 

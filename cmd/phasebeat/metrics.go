@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -12,11 +13,13 @@ import (
 )
 
 // serveMetrics starts the observability endpoint on addr: the metrics
-// registry's JSON snapshot at /debug/metrics and the pprof handler set
-// at /debug/pprof/. The server runs on its own goroutine for the life
-// of the process; the returned listener lets the caller report the
-// bound address (useful with ":0") and close the port.
-func serveMetrics(addr string, reg *phasebeat.MetricsRegistry) (net.Listener, error) {
+// registry's JSON snapshot at /debug/metrics, the pprof handler set at
+// /debug/pprof/, and — when an explain recorder is wired — the last
+// explain trace at /debug/explain plus an on-demand flight dump at
+// /debug/flight. The server runs on its own goroutine for the life of
+// the process; the returned listener lets the caller report the bound
+// address (useful with ":0") and close the port.
+func serveMetrics(addr string, reg *phasebeat.MetricsRegistry, rec *phasebeat.ExplainRecorder) (net.Listener, error) {
 	mux := http.NewServeMux()
 	mux.Handle("/debug/metrics", reg)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -24,6 +27,28 @@ func serveMetrics(addr string, reg *phasebeat.MetricsRegistry) (net.Listener, er
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if rec != nil {
+		mux.HandleFunc("/debug/explain", func(w http.ResponseWriter, _ *http.Request) {
+			tr := rec.Last()
+			if tr == nil {
+				http.Error(w, "no explain trace recorded yet", http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(tr)
+		})
+		mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, _ *http.Request) {
+			path, err := rec.Dump("manual")
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusConflict)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(map[string]string{"dump": path})
+		})
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("metrics listener: %w", err)

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -19,7 +20,7 @@ import (
 func TestServeMetricsEndpoint(t *testing.T) {
 	reg := phasebeat.NewMetricsRegistry()
 	reg.Counter("test.counter").Add(3)
-	ln, err := serveMetrics("127.0.0.1:0", reg)
+	ln, err := serveMetrics("127.0.0.1:0", reg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,6 +48,67 @@ func TestServeMetricsEndpoint(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("pprof index: status %d", resp.StatusCode)
+	}
+}
+
+// TestServeExplainEndpoints pins the /debug/explain and /debug/flight
+// contracts: 404 before any trace, JSON of the last trace after one, and
+// an on-demand dump whose path points at a readable bundle.
+func TestServeExplainEndpoints(t *testing.T) {
+	rec, err := phasebeat.NewExplainRecorder(phasebeat.ExplainConfig{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := serveMetrics("127.0.0.1:0", phasebeat.NewMetricsRegistry(), rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	base := fmt.Sprintf("http://%s", ln.Addr())
+
+	resp, err := http.Get(base + "/debug/explain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("empty recorder: status %d, want 404", resp.StatusCode)
+	}
+
+	rec.RecordResult(nil, nil)
+	resp, err = http.Get(base + "/debug/explain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/explain: status %d\n%s", resp.StatusCode, body)
+	}
+	var tr phasebeat.ExplainTrace
+	if err := json.Unmarshal(body, &tr); err != nil {
+		t.Fatalf("trace JSON invalid: %v\n%s", err, body)
+	}
+	if tr.Seq != 1 {
+		t.Fatalf("trace seq = %d, want 1", tr.Seq)
+	}
+
+	resp, err = http.Get(base + "/debug/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/flight: status %d\n%s", resp.StatusCode, body)
+	}
+	var out map[string]string
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(out["dump"]); err != nil {
+		t.Fatalf("dump path unreadable: %v", err)
 	}
 }
 

@@ -37,6 +37,10 @@ type Health struct {
 	// by a newer one in drop-on-backlog mode — estimates a slow consumer
 	// never saw.
 	UpdatesReplaced uint64
+	// ObserverPanics counts panics recovered from a third-party
+	// StageObserver or UpdateObserver: the run loop survives them, but the
+	// observer's view of those strides is incomplete.
+	ObserverPanics uint64
 }
 
 // Quarantined returns the total packets rejected across all causes.
@@ -49,21 +53,34 @@ func (h Health) Quarantined() uint64 {
 // clean provenance can compare successive updates' Health and discard
 // estimates whose delta is degraded.
 func (h Health) Degraded() bool {
-	return h.Quarantined() > 0 || h.GapResets > 0 || h.PacketsDropped > 0 || h.UpdatesReplaced > 0
+	return h.Quarantined() > 0 || h.GapResets > 0 || h.PacketsDropped > 0 ||
+		h.UpdatesReplaced > 0 || h.ObserverPanics > 0
 }
 
 // Sub returns the component-wise difference h - prev: the faults observed
-// since a previous snapshot.
+// since a previous snapshot. Each component saturates at zero instead of
+// wrapping, so a stale or mismatched prev (a snapshot taken from a
+// different Monitor, or one retained across a restart) yields a zero
+// delta rather than a near-2^64 fault count.
 func (h Health) Sub(prev Health) Health {
 	return Health{
-		Accepted:                h.Accepted - prev.Accepted,
-		QuarantinedMalformed:    h.QuarantinedMalformed - prev.QuarantinedMalformed,
-		QuarantinedNonFinite:    h.QuarantinedNonFinite - prev.QuarantinedNonFinite,
-		QuarantinedNonMonotonic: h.QuarantinedNonMonotonic - prev.QuarantinedNonMonotonic,
-		GapResets:               h.GapResets - prev.GapResets,
-		PacketsDropped:          h.PacketsDropped - prev.PacketsDropped,
-		UpdatesReplaced:         h.UpdatesReplaced - prev.UpdatesReplaced,
+		Accepted:                satSub(h.Accepted, prev.Accepted),
+		QuarantinedMalformed:    satSub(h.QuarantinedMalformed, prev.QuarantinedMalformed),
+		QuarantinedNonFinite:    satSub(h.QuarantinedNonFinite, prev.QuarantinedNonFinite),
+		QuarantinedNonMonotonic: satSub(h.QuarantinedNonMonotonic, prev.QuarantinedNonMonotonic),
+		GapResets:               satSub(h.GapResets, prev.GapResets),
+		PacketsDropped:          satSub(h.PacketsDropped, prev.PacketsDropped),
+		UpdatesReplaced:         satSub(h.UpdatesReplaced, prev.UpdatesReplaced),
+		ObserverPanics:          satSub(h.ObserverPanics, prev.ObserverPanics),
 	}
+}
+
+// satSub is a - b clamped at zero.
+func satSub(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
 }
 
 // String renders the non-zero fault counts compactly, e.g.
@@ -96,6 +113,9 @@ func (h Health) String() string {
 	if h.UpdatesReplaced > 0 {
 		parts = append(parts, fmt.Sprintf("updates replaced %d", h.UpdatesReplaced))
 	}
+	if h.ObserverPanics > 0 {
+		parts = append(parts, fmt.Sprintf("observer panics %d", h.ObserverPanics))
+	}
 	return strings.Join(parts, ", ")
 }
 
@@ -103,13 +123,14 @@ func (h Health) String() string {
 // Ingest (producer goroutines) and the worker both write; Health() and
 // update snapshots read.
 type healthCounters struct {
-	accepted     atomic.Uint64
-	malformed    atomic.Uint64
-	nonFinite    atomic.Uint64
-	nonMonotonic atomic.Uint64
-	gapResets    atomic.Uint64
-	dropped      atomic.Uint64
-	replaced     atomic.Uint64
+	accepted       atomic.Uint64
+	malformed      atomic.Uint64
+	nonFinite      atomic.Uint64
+	nonMonotonic   atomic.Uint64
+	gapResets      atomic.Uint64
+	dropped        atomic.Uint64
+	replaced       atomic.Uint64
+	observerPanics atomic.Uint64
 }
 
 // snapshot reads a consistent-enough copy for reporting (counters only
@@ -123,5 +144,6 @@ func (c *healthCounters) snapshot() Health {
 		GapResets:               c.gapResets.Load(),
 		PacketsDropped:          c.dropped.Load(),
 		UpdatesReplaced:         c.replaced.Load(),
+		ObserverPanics:          c.observerPanics.Load(),
 	}
 }

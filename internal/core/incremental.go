@@ -110,6 +110,12 @@ type strideEngine struct {
 	eligible  []bool
 	fullTrace trace.Trace
 
+	// wantEvidence is latched per stride when the observer implements
+	// EvidenceCollector; trendAbs then accumulates each subcarrier's
+	// summed |unwrapped − smoothed| for the calibration evidence.
+	wantEvidence bool
+	trendAbs     []float64
+
 	// lastSmoothedSamples is per-subcarrier telemetry: how many samples the
 	// last stride actually smoothed (window length on the full path).
 	lastSmoothedSamples int
@@ -289,6 +295,10 @@ func (e *strideEngine) processIncremental(slide int) (*Result, error) {
 	n := e.window
 	pcfg := &e.proc.cfg
 	obs := pcfg.Observer
+	e.wantEvidence = obs != nil && wantsEvidence(obs)
+	if e.wantEvidence && e.trendAbs == nil {
+		e.trendAbs = make([]float64, e.nSub)
+	}
 	reuse := e.haveSmoothed &&
 		e.prevPos+slide == e.pos &&
 		slide%pcfg.TrendStride == 0 &&
@@ -317,12 +327,21 @@ func (e *strideEngine) processIncremental(slide int) (*Result, error) {
 		return nil
 	})
 	if obs != nil {
+		var ev any
+		if e.wantEvidence && err == nil {
+			var sum float64
+			for _, v := range e.trendAbs {
+				sum += v
+			}
+			ev = &CalibrationEvidence{TrendMagnitude: sum / float64(e.nSub*n)}
+		}
 		obs.OnStageEnd(StageStats{
 			Stage:       StageSmooth,
 			Duration:    time.Since(t0),
 			Samples:     e.lastSmoothedSamples,
 			Subcarriers: e.nSub,
 			Note:        fmt.Sprintf("incremental extract+smooth: %d of %d samples re-smoothed", e.lastSmoothedSamples, n),
+			Evidence:    ev,
 			Err:         err,
 		})
 	}
@@ -352,12 +371,18 @@ func (e *strideEngine) processIncremental(slide int) (*Result, error) {
 		if rejected > 0 {
 			note = fmt.Sprintf("gate rejected %d/%d subcarriers", rejected, e.nSub)
 		}
+		var ev any
+		if e.wantEvidence {
+			fallback, _ := gateStats(e.eligible)
+			ev = &GateEvidence{Fallback: fallback, Rejected: rejected, Total: e.nSub}
+		}
 		obs.OnStageEnd(StageStats{
 			Stage:       StageGate,
 			Duration:    time.Since(t0),
 			Samples:     n,
 			Subcarriers: e.nSub,
 			Note:        note,
+			Evidence:    ev,
 		})
 	}
 	return e.proc.finishSmoothed(e.smoothed, e.eligible, e.cfg.SampleRate)
@@ -405,6 +430,7 @@ func (e *strideEngine) strideSubcarrier(s, slide, start int, reuse bool, ss *sub
 			return err
 		}
 		e.next[s] = out
+		e.accumTrend(s, ss.unwrap)
 		return nil
 	}
 
@@ -421,5 +447,21 @@ func (e *strideEngine) strideSubcarrier(s, slide, start int, reuse bool, ss *sub
 	// Settled interior: identical to the previous stride's values shifted by
 	// the slide (both windows' dependency spans lie fully inside the data).
 	copy(e.next[s][m:lo], e.smoothed[s][m+slide:n-m])
+	e.accumTrend(s, ss.unwrap)
 	return nil
+}
+
+// accumTrend records subcarrier s's summed |unwrapped − smoothed| into
+// trendAbs for the stride's calibration evidence. Evidence-path only: the
+// benchmark operating point (no observer) never executes the loop.
+func (e *strideEngine) accumTrend(s int, unwrap []float64) {
+	if !e.wantEvidence {
+		return
+	}
+	var sum float64
+	next := e.next[s]
+	for i := range unwrap {
+		sum += math.Abs(unwrap[i] - next[i])
+	}
+	e.trendAbs[s] = sum
 }

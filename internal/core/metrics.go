@@ -105,6 +105,18 @@ func (m multiObserver) OnStageEnd(s StageStats) {
 	}
 }
 
+// CollectEvidence implements EvidenceCollector: the fan-out wants
+// evidence when any member does, so an explain recorder combined with
+// timing or metrics observers still receives it.
+func (m multiObserver) CollectEvidence() bool {
+	for _, o := range m {
+		if wantsEvidence(o) {
+			return true
+		}
+	}
+	return false
+}
+
 // CombineObservers merges stage observers into one, dropping nils
 // (including typed nils like a disabled *StageMetrics or an unset
 // *TimingObserver). It returns nil when nothing remains — a valid
@@ -159,6 +171,7 @@ func (m *Monitor) registerMetrics(r *metrics.Registry) monitorMetrics {
 		{"gap_resets", h.gapResets.Load},
 		{"packets_dropped", h.dropped.Load},
 		{"updates_replaced", h.replaced.Load},
+		{"observer_panics", h.observerPanics.Load},
 	}
 	for _, c := range counters {
 		load := c.load

@@ -2,12 +2,22 @@ package core
 
 import (
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
 	"phasebeat/internal/metrics"
 	"phasebeat/internal/trace"
 )
+
+// UpdateObserver receives every Update the Monitor produces, before it is
+// handed to the consumer channel — the hook the explain flight recorder
+// uses to finalize a trace with the stride's Result and Health delta.
+// OnUpdate runs on the worker goroutine: keep it cheap, and never block.
+// Panics are recovered and counted in Health.ObserverPanics.
+type UpdateObserver interface {
+	OnUpdate(u Update)
+}
 
 // Update is one realtime estimate emitted by a Monitor.
 type Update struct {
@@ -75,6 +85,16 @@ type MonitorConfig struct {
 	// quarantine/health counters. Nil (the default) disables metrics with
 	// zero overhead — no observer is attached and no clock is read.
 	Metrics *metrics.Registry
+	// UpdateObserver, when non-nil, is invoked with every Update on the
+	// worker goroutine before delivery (see the interface's contract).
+	// Nil (the default) adds no per-stride work.
+	UpdateObserver UpdateObserver
+	// Logger, when non-nil, receives structured events from the worker:
+	// gap resets and degraded strides at Warn, updates at Debug. Nil (the
+	// default) is silent and adds no per-packet or per-stride work —
+	// the zero-overhead-when-disabled contract of DESIGN §9 applies to
+	// logging too.
+	Logger *slog.Logger
 }
 
 // DefaultMonitorConfig returns a realtime configuration: one-minute
@@ -141,6 +161,19 @@ func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
 	if cfg.Metrics != nil {
 		cfg.Pipeline.Observer = CombineObservers(cfg.Pipeline.Observer, NewStageMetrics(cfg.Metrics))
 	}
+	// The Monitor is allocated before the processor so the observer wrap
+	// below can point at its panic counter; every remaining field is
+	// filled in once the configuration is final.
+	m := &Monitor{}
+	// Third-party observers run on the worker goroutine; a panic in one
+	// must degrade observability, not kill the monitor. See safeObserver.
+	if cfg.Pipeline.Observer != nil {
+		cfg.Pipeline.Observer = &safeObserver{
+			obs:    cfg.Pipeline.Observer,
+			panics: &m.health.observerPanics,
+			logger: cfg.Logger,
+		}
+	}
 	proc, err := NewProcessor(WithConfig(cfg.Pipeline), WithPersons(cfg.Persons))
 	if err != nil {
 		return nil, err
@@ -155,14 +188,12 @@ func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
 				cfg.Pipeline.Estimator)
 		}
 	}
-	m := &Monitor{
-		cfg:       cfg,
-		processor: proc,
-		in:        make(chan trace.Packet, cfg.IngestBuffer),
-		updates:   make(chan Update, 1),
-		stop:      make(chan struct{}),
-		done:      make(chan struct{}),
-	}
+	m.cfg = cfg
+	m.processor = proc
+	m.in = make(chan trace.Packet, cfg.IngestBuffer)
+	m.updates = make(chan Update, 1)
+	m.stop = make(chan struct{})
+	m.done = make(chan struct{})
 	m.metrics = m.registerMetrics(cfg.Metrics)
 	go m.run()
 	return m, nil
@@ -233,6 +264,8 @@ func (m *Monitor) run() {
 	defer close(m.updates)
 
 	engine := newStrideEngine(&m.cfg, m.processor)
+	logger := m.cfg.Logger
+	var lastHealth Health
 	for {
 		select {
 		case <-m.stop:
@@ -242,17 +275,29 @@ func (m *Monitor) run() {
 			switch verdict {
 			case pushMalformed:
 				m.health.malformed.Add(1)
+				if logger != nil {
+					logger.Debug("packet quarantined", "cause", "malformed", "time", p.Time)
+				}
 				continue
 			case pushNonFinite:
 				m.health.nonFinite.Add(1)
+				if logger != nil {
+					logger.Debug("packet quarantined", "cause", "non-finite", "time", p.Time)
+				}
 				continue
 			case pushNonMonotonic:
 				m.health.nonMonotonic.Add(1)
+				if logger != nil {
+					logger.Debug("packet quarantined", "cause", "non-monotonic", "time", p.Time)
+				}
 				continue
 			}
 			m.health.accepted.Add(1)
 			if gapReset {
 				m.health.gapResets.Add(1)
+				if logger != nil {
+					logger.Warn("gap reset: window discarded and re-anchored", "time", p.Time)
+				}
 			}
 			if !engine.ready() {
 				continue
@@ -274,12 +319,48 @@ func (m *Monitor) run() {
 				Dropped: m.health.dropped.Load(),
 				Health:  m.health.snapshot(),
 			}
+			if m.cfg.UpdateObserver != nil {
+				m.notifyUpdate(u)
+			}
+			if logger != nil {
+				if delta := u.Health.Sub(lastHealth); delta.Degraded() {
+					logger.Warn("degraded stride", "time", u.Time, "delta", delta.String())
+				}
+				lastHealth = u.Health
+				logger.Debug("update", "time", u.Time,
+					"breathing_bpm", breathingBPM(u.Result), "err", err)
+			}
 			if !m.deliver(u) {
 				return
 			}
 			m.metrics.updates.Inc()
 		}
 	}
+}
+
+// notifyUpdate runs the configured UpdateObserver under recover: a panic
+// in third-party code is counted in Health.ObserverPanics (and logged)
+// instead of killing the worker — the same contract safeObserver gives
+// stage observers.
+func (m *Monitor) notifyUpdate(u Update) {
+	defer func() {
+		if r := recover(); r != nil {
+			m.health.observerPanics.Add(1)
+			if m.cfg.Logger != nil {
+				m.cfg.Logger.Error("update observer panicked", "panic", r)
+			}
+		}
+	}()
+	m.cfg.UpdateObserver.OnUpdate(u)
+}
+
+// breathingBPM extracts the single-person rate for log output; 0 when the
+// update carries no breathing estimate.
+func breathingBPM(res *Result) float64 {
+	if res == nil || res.Breathing == nil {
+		return 0
+	}
+	return res.Breathing.RateBPM
 }
 
 // deliver hands one update to the consumer. In drop-on-backlog mode a

@@ -1,0 +1,395 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// evidenceCapture is a StageObserver that opts into evidence collection
+// and records every StageStats it sees.
+type evidenceCapture struct {
+	mu    sync.Mutex
+	stats []StageStats
+}
+
+func (c *evidenceCapture) OnStageStart(string) {}
+
+func (c *evidenceCapture) OnStageEnd(s StageStats) {
+	c.mu.Lock()
+	c.stats = append(c.stats, s)
+	c.mu.Unlock()
+}
+
+func (c *evidenceCapture) CollectEvidence() bool { return true }
+
+// byStage indexes the captured stats by stage name (last occurrence wins).
+func (c *evidenceCapture) byStage() map[string]StageStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]StageStats, len(c.stats))
+	for _, s := range c.stats {
+		out[s.Stage] = s
+	}
+	return out
+}
+
+// TestBatchEvidenceCollection runs the batch pipeline with an
+// evidence-collecting observer and checks that every evidence-bearing
+// stage attached its typed record with sane contents.
+func TestBatchEvidenceCollection(t *testing.T) {
+	sim := newFixedSim(t, 100, 16, 21)
+	tr, err := sim.Generate(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := &evidenceCapture{}
+	cfg := ConfigForRate(100)
+	cfg.Observer = cap
+	proc, err := NewProcessor(WithConfig(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := proc.Process(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	by := cap.byStage()
+	cal, ok := by[StageSmooth].Evidence.(*CalibrationEvidence)
+	if !ok {
+		t.Fatalf("smooth evidence = %T, want *CalibrationEvidence", by[StageSmooth].Evidence)
+	}
+	if cal.TrendMagnitude <= 0 || !isFinite(cal.TrendMagnitude) {
+		t.Fatalf("trend magnitude = %v, want positive finite", cal.TrendMagnitude)
+	}
+	gate, ok := by[StageGate].Evidence.(*GateEvidence)
+	if !ok {
+		t.Fatalf("gate evidence = %T, want *GateEvidence", by[StageGate].Evidence)
+	}
+	if gate.Total != tr.NumSubcarriers {
+		t.Fatalf("gate total = %d, want %d", gate.Total, tr.NumSubcarriers)
+	}
+	sel, ok := by[StageSelect].Evidence.(*SelectionEvidence)
+	if !ok {
+		t.Fatalf("select evidence = %T, want *SelectionEvidence", by[StageSelect].Evidence)
+	}
+	if len(sel.MAD) != tr.NumSubcarriers || sel.Selected != res.Selection.Selected {
+		t.Fatalf("selection evidence %+v inconsistent with result selection %+v", sel, res.Selection)
+	}
+	if len(sel.TopK) == 0 {
+		t.Fatal("selection evidence has empty TopK")
+	}
+	dwt, ok := by[StageDWT].Evidence.(*DWTEvidence)
+	if !ok {
+		t.Fatalf("dwt evidence = %T, want *DWTEvidence", by[StageDWT].Evidence)
+	}
+	if dwt.BreathingEnergy <= dwt.HeartEnergy {
+		t.Fatalf("breathing band energy %v not dominating heart %v on a breathing-only subject",
+			dwt.BreathingEnergy, dwt.HeartEnergy)
+	}
+	est, ok := by[StageEstimate].Evidence.(*EstimateEvidence)
+	if !ok {
+		t.Fatalf("estimate evidence = %T, want *EstimateEvidence", by[StageEstimate].Evidence)
+	}
+	if len(est.Peaks) == 0 {
+		t.Fatal("estimate evidence has no spectrum peaks")
+	}
+	if est.BreathingBPM != res.Breathing.RateBPM {
+		t.Fatalf("evidence BPM %v != result BPM %v", est.BreathingBPM, res.Breathing.RateBPM)
+	}
+	if math.Abs(est.Peaks[0].BPM-res.Breathing.RateBPM) > 2 {
+		t.Fatalf("strongest peak %v bpm far from estimate %v bpm", est.Peaks[0].BPM, res.Breathing.RateBPM)
+	}
+	if est.SNR <= 1 {
+		t.Fatalf("SNR = %v, want > 1 on a clean fixed-rate scene", est.SNR)
+	}
+	if est.Confidence <= 0 || est.Confidence >= 1 {
+		t.Fatalf("confidence = %v, want in (0, 1)", est.Confidence)
+	}
+}
+
+// TestEvidenceSkippedWithoutCollector pins the opt-in contract: a plain
+// observer (no EvidenceCollector) must see nil Evidence on every stage.
+func TestEvidenceSkippedWithoutCollector(t *testing.T) {
+	sim := newFixedSim(t, 100, 16, 21)
+	tr, err := sim.Generate(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	timing := NewTimingObserver()
+	var got []StageStats
+	plain := &statsFunc{fn: func(s StageStats) { got = append(got, s) }}
+	cfg := ConfigForRate(100)
+	cfg.Observer = CombineObservers(timing, plain)
+	proc, err := NewProcessor(WithConfig(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := proc.Process(tr); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range got {
+		if s.Evidence != nil {
+			t.Fatalf("stage %s carried evidence %T without a collector", s.Stage, s.Evidence)
+		}
+	}
+}
+
+// statsFunc adapts a function to StageObserver.
+type statsFunc struct{ fn func(StageStats) }
+
+func (o *statsFunc) OnStageStart(string)     {}
+func (o *statsFunc) OnStageEnd(s StageStats) { o.fn(s) }
+
+// TestIncrementalStrideEvidence drives the incremental engine directly
+// with an evidence collector and checks the ring-cache path's manual
+// stage reports carry calibration and gate evidence, including on the
+// margin-reuse stride.
+func TestIncrementalStrideEvidence(t *testing.T) {
+	cfg := faultMonitorConfig()
+	cap := &evidenceCapture{}
+	cfg.Pipeline.Observer = cap
+	proc, err := NewProcessor(WithConfig(cfg.Pipeline), WithPersons(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := newStrideEngine(&cfg, proc)
+	sim := newFixedSim(t, faultMatrixRate, faultMatrixBPM, 3)
+	window := int(faultMatrixWindow * faultMatrixRate)
+	stride := int(faultMatrixStride * faultMatrixRate)
+	for i := 0; i < window; i++ {
+		if v, _ := eng.push(sim.NextPacket()); v != pushAccepted {
+			t.Fatalf("packet %d rejected", i)
+		}
+	}
+	if _, err := eng.process(); err != nil {
+		t.Fatalf("first stride: %v", err)
+	}
+	// Second stride exercises the margin-only reuse branch.
+	for i := 0; i < stride; i++ {
+		eng.push(sim.NextPacket())
+	}
+	cap.mu.Lock()
+	cap.stats = nil
+	cap.mu.Unlock()
+	if _, err := eng.process(); err != nil {
+		t.Fatalf("reuse stride: %v", err)
+	}
+
+	by := cap.byStage()
+	cal, ok := by[StageSmooth].Evidence.(*CalibrationEvidence)
+	if !ok {
+		t.Fatalf("incremental smooth evidence = %T, want *CalibrationEvidence", by[StageSmooth].Evidence)
+	}
+	if cal.TrendMagnitude <= 0 || !isFinite(cal.TrendMagnitude) {
+		t.Fatalf("incremental trend magnitude = %v, want positive finite", cal.TrendMagnitude)
+	}
+	if _, ok := by[StageGate].Evidence.(*GateEvidence); !ok {
+		t.Fatalf("incremental gate evidence = %T, want *GateEvidence", by[StageGate].Evidence)
+	}
+	if _, ok := by[StageEstimate].Evidence.(*EstimateEvidence); !ok {
+		t.Fatalf("stream estimate evidence = %T, want *EstimateEvidence", by[StageEstimate].Evidence)
+	}
+}
+
+// panicObserver panics in the chosen callback — the hostile third-party
+// observer of the regression test.
+type panicObserver struct{ onStart, onEnd bool }
+
+func (o *panicObserver) OnStageStart(string) {
+	if o.onStart {
+		panic("observer start boom")
+	}
+}
+
+func (o *panicObserver) OnStageEnd(StageStats) {
+	if o.onEnd {
+		panic("observer end boom")
+	}
+}
+
+// TestMonitorSurvivesPanickingStageObserver is the CombineObservers
+// interaction regression: a panicking third-party StageObserver must not
+// kill the Monitor run loop — strides keep completing, and every panic is
+// counted in Health.ObserverPanics.
+func TestMonitorSurvivesPanickingStageObserver(t *testing.T) {
+	cfg := allocTestConfig()
+	cfg.Pipeline.Observer = CombineObservers(NewTimingObserver(), &panicObserver{onStart: true, onEnd: true})
+	m, err := NewMonitor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	sim := newFixedSim(t, cfg.SampleRate, 16, 5)
+	var updates []Update
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for u := range m.Updates() {
+			updates = append(updates, u)
+		}
+	}()
+	total := int(12 * cfg.SampleRate) // window 8 s + several 1 s strides
+	for i := 0; i < total; i++ {
+		if !m.Ingest(sim.NextPacket()) {
+			t.Fatal("Ingest refused: worker died")
+		}
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for m.Health().Accepted != uint64(total) {
+		if time.Now().After(deadline) {
+			t.Fatalf("worker stalled: accepted %d of %d", m.Health().Accepted, total)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	m.Close()
+	<-done
+
+	if len(updates) == 0 {
+		t.Fatal("no updates delivered with a panicking observer")
+	}
+	h := m.Health()
+	if h.ObserverPanics == 0 {
+		t.Fatal("recovered panics not counted in Health.ObserverPanics")
+	}
+	if !h.Degraded() {
+		t.Fatal("observer panics not reported as degraded health")
+	}
+}
+
+// panicUpdateObserver panics on every update.
+type panicUpdateObserver struct{}
+
+func (panicUpdateObserver) OnUpdate(Update) { panic("update boom") }
+
+// TestMonitorSurvivesPanickingUpdateObserver extends the contract to the
+// UpdateObserver hook.
+func TestMonitorSurvivesPanickingUpdateObserver(t *testing.T) {
+	cfg := allocTestConfig()
+	cfg.UpdateObserver = panicUpdateObserver{}
+	m, err := NewMonitor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	sim := newFixedSim(t, cfg.SampleRate, 16, 5)
+	var updates []Update
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for u := range m.Updates() {
+			updates = append(updates, u)
+		}
+	}()
+	total := int(10 * cfg.SampleRate)
+	for i := 0; i < total; i++ {
+		if !m.Ingest(sim.NextPacket()) {
+			t.Fatal("Ingest refused: worker died")
+		}
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for m.Health().Accepted != uint64(total) {
+		if time.Now().After(deadline) {
+			t.Fatalf("worker stalled: accepted %d of %d", m.Health().Accepted, total)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	m.Close()
+	<-done
+
+	if len(updates) == 0 {
+		t.Fatal("no updates delivered with a panicking update observer")
+	}
+	if m.Health().ObserverPanics != uint64(len(updates)) {
+		t.Fatalf("ObserverPanics = %d, want one per update (%d)",
+			m.Health().ObserverPanics, len(updates))
+	}
+}
+
+// TestHealthSubSaturates pins the wraparound contract: subtracting a
+// snapshot with larger counters (a stale snapshot kept across a monitor
+// restart, or one from a different monitor) clamps at zero instead of
+// wrapping to ~2^64.
+func TestHealthSubSaturates(t *testing.T) {
+	stale := Health{Accepted: 500, QuarantinedNonFinite: 9, GapResets: 4, UpdatesReplaced: 2}
+	fresh := Health{Accepted: 30, QuarantinedNonFinite: 2, GapResets: 1}
+	d := fresh.Sub(stale)
+	if d != (Health{}) {
+		t.Fatalf("saturating Sub = %+v, want all-zero", d)
+	}
+	if d.Degraded() {
+		t.Fatal("clamped delta reported degraded")
+	}
+	// Mixed case: counters that did advance still report exact deltas.
+	prev := Health{Accepted: 100, GapResets: 5}
+	now := Health{Accepted: 150, GapResets: 3, ObserverPanics: 2}
+	d = now.Sub(prev)
+	if d.Accepted != 50 || d.GapResets != 0 || d.ObserverPanics != 2 {
+		t.Fatalf("mixed Sub = %+v", d)
+	}
+	if !d.Degraded() {
+		t.Fatal("observer-panic delta not degraded")
+	}
+	if s := d.String(); s == "ok" {
+		t.Fatalf("degraded delta String() = %q", s)
+	}
+}
+
+// TestMonitorDeliverSlowConsumerAccounting hammers deliver against a full
+// channel with no consumer: every replaced update is counted, and the
+// surviving update's own Health reflects all evictions.
+func TestMonitorDeliverSlowConsumerAccounting(t *testing.T) {
+	m := &Monitor{
+		cfg:     MonitorConfig{DropOnBacklog: true},
+		updates: make(chan Update, 1),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	const n = 25
+	for i := 1; i <= n; i++ {
+		u := Update{Time: float64(i), Health: m.health.snapshot()}
+		if !m.deliver(u) {
+			t.Fatalf("deliver %d failed", i)
+		}
+	}
+	if got := m.Health().UpdatesReplaced; got != n-1 {
+		t.Fatalf("UpdatesReplaced = %d, want %d", got, n-1)
+	}
+	u := <-m.updates
+	if u.Time != n {
+		t.Fatalf("survivor is t=%v, want the newest t=%d", u.Time, n)
+	}
+	if u.Health.UpdatesReplaced != n-1 {
+		t.Fatalf("survivor's Health.UpdatesReplaced = %d, want %d", u.Health.UpdatesReplaced, n-1)
+	}
+}
+
+// TestCombineObserversEvidencePropagation pins wantsEvidence through the
+// wrappers: a fan-out collects when any member collects; plain observers
+// alone do not; a safeObserver wrap preserves the underlying answer.
+func TestCombineObserversEvidencePropagation(t *testing.T) {
+	plain := NewTimingObserver()
+	collector := &evidenceCapture{}
+	if wantsEvidence(plain) {
+		t.Fatal("TimingObserver reported as evidence collector")
+	}
+	if !wantsEvidence(CombineObservers(plain, collector)) {
+		t.Fatal("fan-out with a collector does not collect")
+	}
+	if wantsEvidence(CombineObservers(plain, NewTimingObserver())) {
+		t.Fatal("fan-out of plain observers collects")
+	}
+	var panics atomic.Uint64
+	wrapped := &safeObserver{obs: collector, panics: &panics}
+	if !wantsEvidence(wrapped) {
+		t.Fatal("safeObserver hid the wrapped collector")
+	}
+	if wantsEvidence(&safeObserver{obs: plain, panics: &panics}) {
+		t.Fatal("safeObserver invented evidence collection")
+	}
+}

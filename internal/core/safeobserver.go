@@ -1,0 +1,52 @@
+package core
+
+import (
+	"log/slog"
+	"sync/atomic"
+)
+
+// safeObserver shields the pipeline from a panicking third-party
+// StageObserver: every callback runs under recover, and a recovered panic
+// is counted in Health.ObserverPanics (and logged when a logger is wired)
+// instead of killing the Monitor's run loop. The Monitor wraps every
+// configured observer with it — the observer contract is therefore
+// "panics are survived but that stride's observation is lost", not
+// "panics propagate".
+type safeObserver struct {
+	obs    StageObserver
+	panics *atomic.Uint64
+	logger *slog.Logger
+}
+
+// OnStageStart implements StageObserver.
+func (o *safeObserver) OnStageStart(stage string) {
+	defer o.recoverPanic("OnStageStart", stage)
+	o.obs.OnStageStart(stage)
+}
+
+// OnStageEnd implements StageObserver.
+func (o *safeObserver) OnStageEnd(s StageStats) {
+	defer o.recoverPanic("OnStageEnd", s.Stage)
+	o.obs.OnStageEnd(s)
+}
+
+// CollectEvidence implements EvidenceCollector by forwarding to the
+// wrapped observer — wrapping must not silently disable evidence
+// collection for an explain recorder underneath.
+func (o *safeObserver) CollectEvidence() bool {
+	defer o.recoverPanic("CollectEvidence", "")
+	return wantsEvidence(o.obs)
+}
+
+// recoverPanic is the deferred recovery shared by the callbacks.
+func (o *safeObserver) recoverPanic(callback, stage string) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	o.panics.Add(1)
+	if o.logger != nil {
+		o.logger.Error("stage observer panicked",
+			"callback", callback, "stage", stage, "panic", r)
+	}
+}

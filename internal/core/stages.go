@@ -93,6 +93,11 @@ type StageStats struct {
 	// Note carries stage-specific diagnostics (gate fallback, estimator
 	// backend, incremental reuse), empty when there is nothing to report.
 	Note string
+	// Evidence carries the stage's typed evidence record (one of the
+	// *Evidence structs in evidence.go). It is nil unless the configured
+	// observer implements EvidenceCollector and opted in — ordinary
+	// observers never pay for its computation.
+	Evidence any
 	// Err is the stage's error, nil on success.
 	Err error
 }
@@ -137,6 +142,11 @@ type pipelineState struct {
 	breathingHz float64
 	// note is a per-stage diagnostic cleared after each observer callback.
 	note string
+	// wantEvidence is set once per run when the observer implements
+	// EvidenceCollector; evidence is the per-stage record, cleared like
+	// note after each observer callback.
+	wantEvidence bool
+	evidence     any
 
 	// res accumulates the pipeline output; never nil.
 	res *Result
@@ -163,6 +173,9 @@ func (st *pipelineState) dims() (samples, subcarriers int) {
 // accumulated partial Result stays valid whether or not an error occurs.
 func (p *Processor) runStages(st *pipelineState, stages []Stage) error {
 	obs := p.cfg.Observer
+	if obs != nil && !st.wantEvidence {
+		st.wantEvidence = wantsEvidence(obs)
+	}
 	for _, stage := range stages {
 		var start time.Time
 		if obs != nil {
@@ -178,10 +191,12 @@ func (p *Processor) runStages(st *pipelineState, stages []Stage) error {
 				Samples:     samples,
 				Subcarriers: subs,
 				Note:        st.note,
+				Evidence:    st.evidence,
 				Err:         err,
 			})
 		}
 		st.note = ""
+		st.evidence = nil
 		if err != nil {
 			return &StageError{Stage: stage.Name, Err: err}
 		}
@@ -226,6 +241,9 @@ func runSmooth(st *pipelineState) error {
 		return err
 	}
 	st.smoothed = smoothed
+	if st.wantEvidence {
+		st.evidence = &CalibrationEvidence{TrendMagnitude: meanAbsDiff(st.phaseDiff, smoothed)}
+	}
 	return nil
 }
 
@@ -238,6 +256,9 @@ func runGate(st *pipelineState) error {
 	st.gateFallback, st.rejected = gateStats(st.eligible)
 	if st.rejected > 0 {
 		st.note = fmt.Sprintf("gate rejected %d/%d subcarriers", st.rejected, len(st.eligible))
+	}
+	if st.wantEvidence {
+		st.evidence = &GateEvidence{Fallback: st.gateFallback, Rejected: st.rejected, Total: len(st.eligible)}
 	}
 	return nil
 }
@@ -300,6 +321,15 @@ func runSelect(st *pipelineState) error {
 	if sel.GateFallback {
 		st.note = fmt.Sprintf("gate fallback: all %d subcarriers rejected, ranking ungated", sel.Rejected)
 	}
+	if st.wantEvidence {
+		st.evidence = &SelectionEvidence{
+			MAD:          append([]float64(nil), sel.MAD...),
+			TopK:         append([]int(nil), sel.TopK...),
+			Selected:     sel.Selected,
+			GateFallback: sel.GateFallback,
+			Rejected:     sel.Rejected,
+		}
+	}
 	return nil
 }
 
@@ -310,6 +340,12 @@ func runDWT(st *pipelineState) error {
 		return err
 	}
 	st.res.Bands = bands
+	if st.wantEvidence {
+		st.evidence = &DWTEvidence{
+			BreathingEnergy: meanSquare(bands.Breathing),
+			HeartEnergy:     meanSquare(bands.Heart),
+		}
+	}
 	return nil
 }
 

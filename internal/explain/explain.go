@@ -1,0 +1,164 @@
+// Package explain assembles per-update explain traces and a bounded
+// flight recorder for the PhaseBeat pipeline.
+//
+// An ExplainTrace is the event-level counterpart of the metrics layer
+// (DESIGN §9): where metrics aggregate, a trace answers "why did THIS
+// stride produce THIS number" — per-stage timing plus compact typed
+// evidence (calibration trend magnitude, gate verdicts, the MAD ranking
+// behind subcarrier selection, DWT band energies, estimator spectrum
+// peaks with an SNR/confidence score) and the stride's Health delta.
+//
+// The Recorder keeps the last N traces plus raw-ish stride snapshots in
+// a ring, and dumps them as a schema-versioned JSON bundle when an
+// anomaly trigger fires: a quarantine-rate spike, a gap reset, an
+// estimate jump beyond a configurable BPM, or other health degradation.
+// Everything is opt-in: a Monitor without a Recorder (and without a
+// logger) runs exactly the code it ran before this package existed.
+package explain
+
+import (
+	"time"
+
+	"phasebeat/internal/core"
+)
+
+// Schema identifiers embedded in every marshaled artifact, so consumers
+// can reject bundles from a different format generation.
+const (
+	// TraceSchema versions the ExplainTrace JSON layout.
+	TraceSchema = "phasebeat-explain/v1"
+	// FlightSchema versions the flight-recorder bundle layout.
+	FlightSchema = "phasebeat-flight/v1"
+)
+
+// StageRecord is one stage's entry in an ExplainTrace: the StageStats
+// fields plus the stage's typed evidence, each kind in its own slot so
+// the JSON is self-describing without a type tag.
+type StageRecord struct {
+	// Stage is the stage name (core.Stage* constants).
+	Stage string `json:"stage"`
+	// Duration is the stage's wall-clock run time.
+	Duration time.Duration `json:"duration_ns"`
+	// Samples and Subcarriers describe the data shape after the stage.
+	Samples     int `json:"samples"`
+	Subcarriers int `json:"subcarriers"`
+	// Note carries the stage's free-form diagnostic, Err its error text.
+	Note string `json:"note,omitempty"`
+	Err  string `json:"err,omitempty"`
+
+	// Exactly one of the evidence slots is set, matching the stage.
+	Calibration *core.CalibrationEvidence `json:"calibration,omitempty"`
+	Gate        *core.GateEvidence        `json:"gate,omitempty"`
+	Selection   *core.SelectionEvidence   `json:"selection,omitempty"`
+	DWT         *core.DWTEvidence         `json:"dwt,omitempty"`
+	Estimate    *core.EstimateEvidence    `json:"estimate,omitempty"`
+}
+
+// Trace is one pipeline run's explanation: every stage that ran, in
+// order, plus the final estimates and — on streaming runs — the stride's
+// cumulative Health and its delta against the previous update.
+type Trace struct {
+	// Schema is TraceSchema.
+	Schema string `json:"schema"`
+	// Seq numbers finalized traces from 1, monotonically per Recorder.
+	Seq uint64 `json:"seq"`
+	// Time is the update's trace timestamp in seconds (0 on batch runs).
+	Time float64 `json:"time"`
+	// Stages lists the per-stage records in execution order.
+	Stages []StageRecord `json:"stages"`
+	// BreathingBPM / HeartBPM / RatesBPM are the run's final estimates
+	// (zero values when the run failed before estimation).
+	BreathingBPM float64   `json:"breathing_bpm,omitempty"`
+	HeartBPM     float64   `json:"heart_bpm,omitempty"`
+	RatesBPM     []float64 `json:"rates_bpm,omitempty"`
+	// Err is the run error text, empty on success.
+	Err string `json:"err,omitempty"`
+	// Health is the Monitor's cumulative summary at this update;
+	// HealthDelta the change since the previous one. Degraded mirrors
+	// HealthDelta.Degraded(). All zero on batch runs.
+	Health      core.Health `json:"health"`
+	HealthDelta core.Health `json:"health_delta"`
+	Degraded    bool        `json:"degraded"`
+}
+
+// Snapshot is the raw-ish signal context stored beside each trace: the
+// selected subcarrier's calibrated series and the DWT breathing band,
+// decimated to at most maxSnapshotSamples points — enough to eyeball the
+// waveform an estimate came from without shipping whole windows.
+type Snapshot struct {
+	// Subcarrier is the selected subcarrier index.
+	Subcarrier int `json:"subcarrier"`
+	// Rate is the effective sample rate of the stored series in Hz
+	// (estimation rate divided by the decimation factor).
+	Rate float64 `json:"rate_hz"`
+	// Calibrated and Breathing are the decimated series.
+	Calibrated []float64 `json:"calibrated,omitempty"`
+	Breathing  []float64 `json:"breathing,omitempty"`
+}
+
+// Entry pairs a finalized trace with its snapshot in the ring and in
+// flight dumps.
+type Entry struct {
+	Trace    *Trace    `json:"trace"`
+	Snapshot *Snapshot `json:"snapshot,omitempty"`
+}
+
+// FlightDump is the bundle written when a trigger fires: the ring's
+// entries oldest-first, the triggering condition, and the sequence
+// number of the trace that fired it.
+type FlightDump struct {
+	// Schema is FlightSchema.
+	Schema string `json:"schema"`
+	// Trigger names the condition ("gap-reset", "quarantine-spike",
+	// "estimate-jump", "health-degraded", "manual").
+	Trigger string `json:"trigger"`
+	// Seq is the triggering trace's sequence number.
+	Seq uint64 `json:"seq"`
+	// WrittenAt is the wall-clock write time in RFC 3339 form.
+	WrittenAt string `json:"written_at"`
+	// Entries holds the recorded traces, oldest first.
+	Entries []Entry `json:"entries"`
+}
+
+// maxSnapshotSamples bounds each stored series; longer series are
+// decimated by the smallest integer factor that fits.
+const maxSnapshotSamples = 128
+
+// decimate returns x reduced to at most maxSnapshotSamples points by
+// integer-stride subsampling, plus the stride used.
+func decimate(x []float64) ([]float64, int) {
+	if len(x) == 0 {
+		return nil, 1
+	}
+	step := (len(x) + maxSnapshotSamples - 1) / maxSnapshotSamples
+	if step < 1 {
+		step = 1
+	}
+	out := make([]float64, 0, (len(x)+step-1)/step)
+	for i := 0; i < len(x); i += step {
+		out = append(out, x[i])
+	}
+	return out, step
+}
+
+// newSnapshot captures the selected-subcarrier context from a Result;
+// nil when the run failed before selection.
+func newSnapshot(res *core.Result) *Snapshot {
+	if res == nil || res.Calibrated == nil || res.Selection == nil {
+		return nil
+	}
+	sel := res.Selection.Selected
+	if sel < 0 || sel >= len(res.Calibrated) {
+		return nil
+	}
+	cal, step := decimate(res.Calibrated[sel])
+	s := &Snapshot{
+		Subcarrier: sel,
+		Rate:       res.EstimationRate / float64(step),
+		Calibrated: cal,
+	}
+	if res.Bands != nil {
+		s.Breathing, _ = decimate(res.Bands.Breathing)
+	}
+	return s
+}

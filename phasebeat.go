@@ -35,6 +35,7 @@ import (
 	"phasebeat/internal/baseline"
 	"phasebeat/internal/core"
 	"phasebeat/internal/csisim"
+	"phasebeat/internal/explain"
 	"phasebeat/internal/metrics"
 	"phasebeat/internal/trace"
 )
@@ -91,6 +92,22 @@ type (
 	// StageMetricsObserver is a StageObserver recording per-stage latency
 	// histograms and error counters into a MetricsRegistry.
 	StageMetricsObserver = core.StageMetrics
+	// UpdateObserver receives every Monitor update before delivery — the
+	// hook the explain flight recorder rides on.
+	UpdateObserver = core.UpdateObserver
+	// ExplainConfig configures an ExplainRecorder; ExplainTrace is one
+	// pipeline run's per-stage explanation; FlightDump is the bundle the
+	// recorder writes when an anomaly trigger fires.
+	ExplainConfig   = explain.Config
+	ExplainRecorder = explain.Recorder
+	ExplainTrace    = explain.Trace
+	FlightDump      = explain.FlightDump
+	// Stage evidence records carried inside an ExplainTrace.
+	CalibrationEvidence = core.CalibrationEvidence
+	GateEvidence        = core.GateEvidence
+	SelectionEvidence   = core.SelectionEvidence
+	DWTEvidence         = core.DWTEvidence
+	EstimateEvidence    = core.EstimateEvidence
 
 	// Trace is a CSI capture; Packet is one CSI measurement.
 	Trace  = trace.Trace
@@ -187,6 +204,14 @@ func CombineObservers(obs ...StageObserver) StageObserver { return core.CombineO
 // RegisterTraceMetrics exports the trace codec's counters (traces and
 // packets read/written, decode errors) into r under "trace.".
 func RegisterTraceMetrics(r *MetricsRegistry) { trace.RegisterMetrics(r) }
+
+// NewExplainRecorder returns a flight recorder assembling per-update
+// explain traces. Wire it into a Monitor as both Pipeline.Observer (via
+// CombineObservers) and MonitorConfig.UpdateObserver; for batch runs
+// attach it with WithObserver and call RecordResult after ProcessTrace.
+func NewExplainRecorder(cfg ExplainConfig) (*ExplainRecorder, error) {
+	return explain.NewRecorder(cfg)
+}
 
 // PipelineStages lists the pipeline's stage names in execution order.
 func PipelineStages() []string { return core.StageNames() }
