@@ -48,7 +48,7 @@ cover:
 # panic or reject their own fixtures without paying measurement time.
 .PHONY: bench-smoke
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkPipelineProcess$$|BenchmarkMonitorStride$$|BenchmarkQuarantinePush$$|BenchmarkDWTDenoise$$|BenchmarkRootMUSIC$$' -benchtime 1x ./internal/core ./internal/music
+	$(GO) test -run '^$$' -bench 'BenchmarkPipelineProcess$$|BenchmarkMonitorStride$$|BenchmarkQuarantinePush$$|BenchmarkDWTDenoise$$|BenchmarkRootMUSIC$$|BenchmarkEstimateStage$$|BenchmarkStreamingCorrelationAppend$$' -benchtime 1x ./internal/core ./internal/music
 
 # Full benchmark run (slow): every package's benchmarks at default time.
 .PHONY: bench

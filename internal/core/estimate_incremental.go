@@ -1,0 +1,502 @@
+package core
+
+import (
+	"sort"
+
+	"phasebeat/internal/music"
+	"phasebeat/internal/wavelet"
+)
+
+// This file holds the incremental estimate stage: the per-stride streaming
+// state that replaces the full correlation-matrix rebuild, the full
+// eigendecomposition, and the full DWT re-transform on the Monitor's
+// incremental path. The batch Processor never touches any of this.
+//
+// Exactness model (DESIGN §11): unlike the incremental smoother, which is
+// bit-identical to the batch path, the tracked estimate is a bounded
+// approximation — its streams lag the window head by the smoothing margin
+// plus the streaming filters' group delays, and the subspace is refined
+// from the previous stride instead of recomputed. Every K-th stride (
+// Config.EstimateRefreshEvery) the exact estimators run and the tracker is
+// re-seeded from the streaming correlation matrix, bounding drift; K=1
+// runs the exact path every stride (the incremental wiring stays warm but
+// never produces an output), and 0 disables the subsystem entirely.
+
+// settledDecimated returns how many leading samples of the calibrated
+// (decimated-by-df) window are settled: their raw-rate source index lies
+// below n−margin, so the incremental smoother never rewrites them once the
+// window has slid past (see strideEngine's settled-interior copy).
+func settledDecimated(n, margin, df int) int {
+	lim := n - margin
+	if lim < 1 {
+		return 0
+	}
+	return (lim-1)/df + 1
+}
+
+// streamFIR is a one-sample-at-a-time FIR convolver emitting only interior
+// outputs (no edge extension): pushing input t yields output t−half once
+// t ≥ taps−1. The output grid is the input grid, exactly like
+// dsp.FIRFilter.Apply away from the edges.
+type streamFIR struct {
+	taps []float64
+	ring []float64
+	n    int
+}
+
+func (f *streamFIR) init(taps []float64) {
+	f.taps = taps
+	if cap(f.ring) < len(taps) {
+		f.ring = make([]float64, len(taps))
+	}
+	f.ring = f.ring[:len(taps)]
+	f.n = 0
+}
+
+func (f *streamFIR) reset() { f.n = 0 }
+
+// push consumes one input; ok is false while the filter support is still
+// filling.
+func (f *streamFIR) push(v float64) (out float64, ok bool) {
+	t := f.n
+	k := len(f.taps)
+	f.ring[t%k] = v
+	f.n++
+	if t < k-1 {
+		return 0, false
+	}
+	var acc float64
+	for j := 0; j < k; j++ {
+		acc += f.taps[j] * f.ring[(t-j)%k]
+	}
+	return acc, true
+}
+
+// streamMA is the streaming interior counterpart of the centered moving
+// average inside dsp.Decimate: output t−half over the inclusive window
+// [t−2·half, t] once t ≥ 2·half.
+type streamMA struct {
+	half int
+	ring []float64
+	n    int
+}
+
+func (m *streamMA) init(window int) {
+	m.half = window / 2
+	k := 2*m.half + 1
+	if cap(m.ring) < k {
+		m.ring = make([]float64, k)
+	}
+	m.ring = m.ring[:k]
+	m.n = 0
+}
+
+func (m *streamMA) reset() { m.n = 0 }
+
+func (m *streamMA) push(v float64) (out float64, ok bool) {
+	t := m.n
+	k := len(m.ring)
+	m.ring[t%k] = v
+	m.n++
+	if t < k-1 {
+		return 0, false
+	}
+	var acc float64
+	for _, x := range m.ring {
+		acc += x
+	}
+	return acc / float64(k), true
+}
+
+// musicRow is one kept subcarrier's streaming front end: the breathing-band
+// FIR and the decimation moving average, with the absolute calibrated-grid
+// index of the next moving-average output (center) so decimated samples
+// land on the batch grid.
+type musicRow struct {
+	bp     streamFIR
+	ma     streamMA
+	center int
+}
+
+// musicStream is the incremental correlation/subspace side of the estimate
+// stage: per-row streaming filters feeding a rank-one-updated correlation
+// engine and a PAST-style subspace tracker.
+type musicStream struct {
+	active bool // anchored on the current grid, fed through this stride
+	usable bool // per-stride: active and aligned after observeStride
+
+	kept    []int // eligible-row snapshot the streams were built for
+	rows    []musicRow
+	sc      *music.StreamingCorrelation
+	tracker *music.SubspaceTracker
+	roots   music.RootState
+
+	nDec     int // calibrated window length the anchor assumed
+	fed      int // settled samples fed, in current-window coordinates
+	view     int
+	musicFs  float64
+	bpActive bool
+
+	keptScratch []int
+}
+
+// dwtStream is the incremental wavelet side: a streaming multi-level
+// analyzer for the breathing band plus a high-passed twin for the heart
+// band, re-synthesizing only over the reconstructible interior.
+type dwtStream struct {
+	active bool
+	usable bool
+
+	selected int
+	level    int
+	nDec     int
+
+	// The analyzers index absolutely from the anchor: window coordinate d
+	// lives at absolute stream index d+offset, and fedAbs counts absolute
+	// samples consumed so far.
+	offset int
+	fedAbs int
+
+	main     *wavelet.StreamDec
+	hp1, hp2 streamFIR
+	hpActive bool
+	resid    *wavelet.StreamDec
+	keep     []bool
+
+	// Per-band reconstruction caches: settled coefficients never change,
+	// so each stride only synthesizes the freshly settled tail and reuses
+	// the cached prefix verbatim.
+	breathCache bandCache
+	heartCache  bandCache
+}
+
+// bandCache memoizes one band's reconstruction over absolute signal
+// indices [lo, hi). Successive strides extend hi by roughly the stride
+// length; the overlap is copied instead of re-synthesized, which is
+// bit-exact because a StreamDec never rewrites an emitted coefficient.
+type bandCache struct {
+	buf    []float64
+	lo, hi int
+	valid  bool
+}
+
+func (bc *bandCache) reset() {
+	bc.valid = false
+	bc.lo, bc.hi = 0, 0
+}
+
+// estimateState carries the incremental estimate stage across strides. It
+// is owned by one strideEngine and only ever touched on the Monitor's
+// worker goroutine; the Monitor republishes its counters through atomics
+// after each stride.
+type estimateState struct {
+	cfg     *Config
+	persons int
+
+	refreshEvery  int
+	residualLimit float64
+	wantMusic     bool
+
+	// Stride bookkeeping: beginStride accumulates the raw-rate slide;
+	// observeStride (run inside the DWT stage) consumes it once per stride.
+	pendingSlide int
+	strideOpen   bool
+	sinceRefresh int
+
+	// exactStride is true while the current stride must run the exact
+	// estimators (scheduled refresh, fresh anchor, or guard failure).
+	exactStride bool
+
+	// Telemetry, published by the Monitor after each stride.
+	exactRefreshes uint64
+	trackerResets  uint64
+	lastResidual   float64
+	lastTracked    bool
+
+	music musicStream
+	dwt   dwtStream
+}
+
+// defaultSubspaceResidualLimit is the tracker-invariance residual above
+// which the tracked subspace is discarded and re-seeded exactly; it is
+// far above the residual of a healthy stationary scene (≈1e-3) but well
+// below a tracker that has lost the signal subspace entirely.
+const defaultSubspaceResidualLimit = 0.15
+
+// newEstimateState builds the incremental estimate stage for a validated
+// configuration. Called only when Config.EstimateRefreshEvery > 0.
+func newEstimateState(cfg *Config, persons int) *estimateState {
+	limit := cfg.SubspaceResidualLimit
+	if limit == 0 {
+		limit = defaultSubspaceResidualLimit
+	}
+	return &estimateState{
+		cfg:           cfg,
+		persons:       persons,
+		refreshEvery:  cfg.EstimateRefreshEvery,
+		residualLimit: limit,
+		// The first observed stride runs exact (and seeds the tracker),
+		// like the stride after a gap re-anchor.
+		sinceRefresh: cfg.EstimateRefreshEvery,
+		wantMusic: cfg.Estimator == "root-music" || cfg.Estimator == "esprit" ||
+			(cfg.Estimator == "" && persons > 1),
+	}
+}
+
+// beginStride records that the window slid by another `slide` raw samples.
+// Slides accumulate until observeStride consumes them, so strides that fail
+// before the DWT stage (no stationary segment) keep the stream accounting
+// consistent.
+func (es *estimateState) beginStride(slide int) {
+	if es == nil {
+		return
+	}
+	es.pendingSlide += slide
+	es.strideOpen = true
+}
+
+// reset discards every stream and the tracked subspace — the gap-re-anchor
+// path. The discarded tracker counts as a reset only if it held state.
+func (es *estimateState) reset() {
+	if es == nil {
+		return
+	}
+	if es.music.active || es.dwt.active {
+		es.trackerResets++
+	}
+	es.invalidate()
+	es.pendingSlide = 0
+	es.strideOpen = false
+	es.sinceRefresh = es.refreshEvery // next stride starts with an exact refresh
+	es.lastResidual = 0
+	es.lastTracked = false
+}
+
+// invalidate cools both streams so the next observed stride re-anchors.
+func (es *estimateState) invalidate() {
+	es.music.active = false
+	es.music.usable = false
+	if es.music.tracker != nil {
+		es.music.tracker.Reset()
+	}
+	es.music.roots.Reset()
+	es.dwt.active = false
+	es.dwt.usable = false
+}
+
+// forceRefresh schedules an exact refresh for the next stride.
+func (es *estimateState) forceRefresh() {
+	es.sinceRefresh = es.refreshEvery
+}
+
+// engaged reports whether the incremental stage produced or refreshed
+// anything this stride (for evidence records).
+func (es *estimateState) engaged() bool {
+	return es != nil && (es.music.usable || es.dwt.usable)
+}
+
+// keptRows mirrors filterEligible's row selection as an index list: a nil
+// mask keeps everything, and an all-rejecting mask falls back to keeping
+// everything.
+func keptRows(eligible []bool, rows int, scratch []int) []int {
+	out := scratch[:0]
+	if eligible == nil {
+		for i := 0; i < rows; i++ {
+			out = append(out, i)
+		}
+		return out
+	}
+	for i := 0; i < rows; i++ {
+		if i < len(eligible) && eligible[i] {
+			out = append(out, i)
+		}
+	}
+	if len(out) == 0 {
+		for i := 0; i < rows; i++ {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// tryMusic produces the tracked-subspace multi-person estimate, or reports
+// false so the caller falls back to the exact estimator (refresh strides,
+// cold tracker, guard failures, residual over the limit).
+func (es *estimateState) tryMusic(esprit bool) (*MultiPersonEstimate, bool) {
+	if es == nil {
+		return nil, false
+	}
+	ms := &es.music
+	if es.exactStride || !es.wantMusic || !ms.usable || ms.tracker == nil ||
+		!ms.tracker.Warm() || !ms.sc.Ready() {
+		return nil, false
+	}
+	r, err := ms.sc.Matrix()
+	if err != nil {
+		es.forceRefresh()
+		return nil, false
+	}
+	if err := ms.tracker.Track(r); err != nil {
+		// Rank collapse cools the tracker; fall back to exact now and
+		// re-seed on the next stride.
+		es.trackerResets++
+		ms.roots.Reset()
+		es.forceRefresh()
+		return nil, false
+	}
+	es.lastResidual = ms.tracker.Residual()
+	if es.residualLimit > 0 && es.lastResidual > es.residualLimit {
+		es.trackerResets++
+		ms.tracker.Reset()
+		ms.roots.Reset()
+		es.forceRefresh()
+		return nil, false
+	}
+	var freqs []float64
+	if esprit {
+		freqs, err = music.ESPRITFromSubspace(ms.tracker.Basis(), es.persons, ms.musicFs)
+	} else {
+		freqs, err = music.RootMUSICFromSubspace(ms.tracker.Basis(), es.persons, ms.musicFs, &ms.roots)
+	}
+	if err != nil {
+		es.forceRefresh()
+		return nil, false
+	}
+	rates := make([]float64, len(freqs))
+	for i, f := range freqs {
+		rates[i] = f * 60
+	}
+	sort.Float64s(rates)
+	method := "root-music"
+	switch {
+	case esprit:
+		method = "esprit"
+	case len(ms.kept) == 1:
+		method = "root-music-1"
+	}
+	es.lastTracked = true
+	return &MultiPersonEstimate{RatesBPM: rates, Method: method}, true
+}
+
+// tryDWT reconstructs the breathing and heart bands from the streaming
+// analyzers, or reports false so runDWT falls back to the exact transform.
+// The returned bands cover the trailing reconstructible interior (up to
+// the calibrated window length) and carry no Decomposition — refresh
+// strides still produce the full one.
+func (ds *dwtStream) tryDWT(exactStride bool) (*DWTBands, bool) {
+	if !ds.usable || exactStride {
+		return nil, false
+	}
+	breathing, ok := ds.breathCache.reconstructTail(ds.main, true, nil, ds.nDec)
+	if !ok {
+		return nil, false
+	}
+	heart, ok := ds.heartCache.reconstructTail(ds.resid, false, ds.keep, ds.nDec)
+	if !ok {
+		return nil, false
+	}
+	return &DWTBands{Breathing: breathing, Heart: heart}, true
+}
+
+// reconstructTail synthesizes the selected bands over the trailing
+// reconstructible window of sd, capped at span samples. It refuses (false)
+// when less than half the span is reconstructible — right after an anchor
+// the synthesis chain has not caught up yet. The cache supplies every
+// sample already synthesized on a previous stride; only the newly settled
+// suffix runs through the synthesis filters. The returned slice is a fresh
+// copy — DWTBands escapes to the consumer, the cache stays owned here.
+func (bc *bandCache) reconstructTail(sd *wavelet.StreamDec, keepApprox bool, keepDetails []bool, span int) ([]float64, bool) {
+	lo, hi := sd.ReconRange()
+	if hi-lo > span {
+		lo = hi - span
+	}
+	if hi-lo < span/2 || hi-lo < 64 {
+		return nil, false
+	}
+	n := hi - lo
+	if cap(bc.buf) < n {
+		bc.buf = make([]float64, n, n+n/4)
+	}
+	bc.buf = bc.buf[:n]
+	fresh := lo
+	if bc.valid && bc.lo <= lo && lo < bc.hi && bc.hi <= hi {
+		overlap := bc.hi - lo
+		copy(bc.buf, bc.buf[lo-bc.lo:lo-bc.lo+overlap])
+		fresh = bc.hi
+	}
+	if fresh < hi {
+		if err := sd.Reconstruct(keepApprox, keepDetails, fresh, hi, bc.buf[fresh-lo:]); err != nil {
+			bc.reset()
+			return nil, false
+		}
+	}
+	bc.lo, bc.hi, bc.valid = lo, hi, true
+	out := make([]float64, n)
+	copy(out, bc.buf)
+	return out, true
+}
+
+// feed pushes calibrated columns [ms.fed, upto) of every kept row through
+// the per-row filters into the correlation engine.
+func (ms *musicStream) feed(calib [][]float64, decimate, upto int) {
+	for ri, s := range ms.kept {
+		row := &ms.rows[ri]
+		series := calib[s]
+		for d := ms.fed; d < upto; d++ {
+			v := series[d]
+			if ms.bpActive {
+				f, ok := row.bp.push(v)
+				if !ok {
+					continue
+				}
+				v = f
+			}
+			av, ok := row.ma.push(v)
+			if !ok {
+				continue
+			}
+			c := row.center
+			row.center++
+			if c%decimate == 0 {
+				ms.sc.Append(ri, av)
+			}
+		}
+	}
+	ms.fed = upto
+}
+
+// feed pushes the selected row's settled samples up to window coordinate
+// dSettle into the breathing analyzer and, high-passed, into the heart
+// analyzer, advancing the absolute frontier.
+func (ds *dwtStream) feed(series []float64, dSettle int) {
+	for a := ds.fedAbs; a < ds.offset+dSettle; a++ {
+		v := series[a-ds.offset]
+		ds.main.Push(v)
+		if !ds.hpActive {
+			ds.resid.Push(v)
+			continue
+		}
+		y1, ok := ds.hp1.push(v)
+		if !ok {
+			continue
+		}
+		y2, ok := ds.hp2.push(y1)
+		if !ok {
+			continue
+		}
+		ds.resid.Push(y2)
+	}
+	ds.fedAbs = ds.offset + dSettle
+}

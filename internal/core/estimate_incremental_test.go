@@ -1,0 +1,404 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"phasebeat/internal/csisim"
+)
+
+// newFixedMultiSim is newFixedSim for several persons: a laboratory
+// simulator at an arbitrary sample rate whose persons breathe at exactly
+// the given rates (FixedRatesScenario pins 400 Hz).
+func newFixedMultiSim(t testing.TB, rate float64, bpm []float64, seed int64) *csisim.Simulator {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	env := csisim.Environment{
+		CarrierHz:       csisim.DefaultCarrierHz,
+		AntennaSpacingM: csisim.DefaultAntennaSpacingM,
+		StaticPaths:     csisim.RandomStaticPaths(rng, 6, 3),
+		TxRxDistanceM:   3,
+	}
+	persons := make([]csisim.Person, 0, len(bpm))
+	for _, b := range bpm {
+		pathDist := 4 + rng.Float64()*2
+		p := csisim.RandomPerson(rng, pathDist, csisim.ReflectionGainForPath(pathDist, false))
+		p.BreathingRateBPM = b
+		persons = append(persons, p)
+	}
+	sim, err := csisim.New(csisim.Config{
+		Env:         env,
+		Persons:     persons,
+		SampleRate:  rate,
+		NumAntennas: 3,
+		Seed:        rng.Int63(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+// twoEngines builds two stride engines over the same monitor shape with
+// different pipeline configs, for side-by-side stride comparisons.
+func twoEngines(t *testing.T, rate, window, strideSec float64, persons int, mut func(a, b *Config)) (engA, engB *strideEngine) {
+	t.Helper()
+	mk := func(mutate bool) *strideEngine {
+		cfg := DefaultMonitorConfig()
+		cfg.SampleRate = rate
+		cfg.Pipeline = ConfigForRate(rate)
+		cfg.WindowSeconds = window
+		cfg.UpdateEverySeconds = strideSec
+		tmp := ConfigForRate(rate)
+		if mutate {
+			mut(&cfg.Pipeline, &tmp)
+		} else {
+			mut(&tmp, &cfg.Pipeline)
+		}
+		proc, err := NewProcessor(WithConfig(cfg.Pipeline), WithPersons(persons))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return newStrideEngine(&cfg, proc)
+	}
+	return mk(true), mk(false)
+}
+
+// TestEstimateRefreshOneIsExact is the K=1 property: with
+// EstimateRefreshEvery=1 the streaming estimate state stays warm but every
+// stride still runs the exact estimators, so the output must be
+// byte-identical to the subsystem-disabled path — same bands, same rates.
+func TestEstimateRefreshOneIsExact(t *testing.T) {
+	const rate = 100.0
+	engOne, engOff := twoEngines(t, rate, 30, 5, 2, func(a, b *Config) {
+		a.EstimateRefreshEvery = 1
+		b.EstimateRefreshEvery = 0
+	})
+
+	sim := newFixedMultiSim(t, rate, []float64{12, 19}, 3)
+	total := int(80 * rate)
+	strides := 0
+	for i := 0; i < total; i++ {
+		p := sim.NextPacket()
+		engOne.push(p)
+		engOff.push(p)
+		if !engOne.ready() {
+			continue
+		}
+		strides++
+		got, errGot := engOne.process()
+		want, errWant := engOff.process()
+		if (errGot == nil) != (errWant == nil) {
+			t.Fatalf("stride %d: K=1 err %v, K=0 err %v", strides, errGot, errWant)
+		}
+		if errGot != nil {
+			continue
+		}
+		if (got.MultiPerson == nil) != (want.MultiPerson == nil) {
+			t.Fatalf("stride %d: multi-person nil-ness differs", strides)
+		}
+		if got.MultiPerson != nil {
+			if got.MultiPerson.Method != want.MultiPerson.Method {
+				t.Fatalf("stride %d: method %q vs %q", strides, got.MultiPerson.Method, want.MultiPerson.Method)
+			}
+			if len(got.MultiPerson.RatesBPM) != len(want.MultiPerson.RatesBPM) {
+				t.Fatalf("stride %d: rates %v vs %v", strides, got.MultiPerson.RatesBPM, want.MultiPerson.RatesBPM)
+			}
+			for i := range got.MultiPerson.RatesBPM {
+				if got.MultiPerson.RatesBPM[i] != want.MultiPerson.RatesBPM[i] {
+					t.Fatalf("stride %d: rate[%d] %v != %v (must be byte-identical)",
+						strides, i, got.MultiPerson.RatesBPM[i], want.MultiPerson.RatesBPM[i])
+				}
+			}
+		}
+		for name, pair := range map[string][2][]float64{
+			"breathing band": {got.Bands.Breathing, want.Bands.Breathing},
+			"heart band":     {got.Bands.Heart, want.Bands.Heart},
+		} {
+			if len(pair[0]) != len(pair[1]) {
+				t.Fatalf("stride %d: %s length %d vs %d", strides, name, len(pair[0]), len(pair[1]))
+			}
+			for i := range pair[0] {
+				if pair[0][i] != pair[1][i] {
+					t.Fatalf("stride %d: %s[%d] %v != %v (must be byte-identical)",
+						strides, name, i, pair[0][i], pair[1][i])
+				}
+			}
+		}
+	}
+	if strides < 8 {
+		t.Fatalf("only %d strides processed", strides)
+	}
+	if engOne.est == nil {
+		t.Fatal("K=1 engine did not construct the estimate state")
+	}
+	if engOne.est.exactRefreshes == 0 {
+		t.Fatal("K=1 engine never engaged the incremental streams")
+	}
+}
+
+// TestTrackedEstimateWithinTolerance is the headline exactness contract:
+// with EstimateRefreshEvery=8, the tracked-subspace multi-person estimates
+// must stay within 0.05 BPM of an engine that recomputes exactly every
+// stride — over a long run that includes a timestamp-gap re-anchor, which
+// must reset the tracker and keep the tolerance afterwards.
+func TestTrackedEstimateWithinTolerance(t *testing.T) {
+	const rate = 100.0
+	const bpmTol = 0.05
+	engInc, engExact := twoEngines(t, rate, 60, 5, 2, func(a, b *Config) {
+		a.EstimateRefreshEvery = 8
+		b.EstimateRefreshEvery = 0
+	})
+
+	sim := newFixedMultiSim(t, rate, []float64{12, 19}, 11)
+	total := int(200 * rate)
+	gapAt := int(110 * rate)
+	strides, compared, tracked := 0, 0, 0
+	postGapCompared := 0
+	gapSeen := false
+	for i := 0; i < total; i++ {
+		p := sim.NextPacket()
+		if i == gapAt {
+			// Skip 3 s of capture: a timestamp gap far beyond the default
+			// 1 s threshold, so both engines re-anchor their windows.
+			for k := 0; k < int(3*rate); k++ {
+				p = sim.NextPacket()
+			}
+		}
+		_, gapA := engInc.push(p)
+		_, gapB := engExact.push(p)
+		if gapA != gapB {
+			t.Fatalf("packet %d: gap reset disagreement (%v vs %v)", i, gapA, gapB)
+		}
+		gapSeen = gapSeen || gapA
+		if !engInc.ready() {
+			continue
+		}
+		strides++
+		got, errGot := engInc.process()
+		want, errWant := engExact.process()
+		if errGot != nil || errWant != nil {
+			continue
+		}
+		if got.MultiPerson == nil || want.MultiPerson == nil {
+			continue
+		}
+		if engInc.est.lastTracked {
+			tracked++
+		}
+		if len(got.MultiPerson.RatesBPM) != len(want.MultiPerson.RatesBPM) {
+			t.Fatalf("stride %d: %d rates vs %d", strides,
+				len(got.MultiPerson.RatesBPM), len(want.MultiPerson.RatesBPM))
+		}
+		compared++
+		if gapSeen {
+			postGapCompared++
+		}
+		for j := range got.MultiPerson.RatesBPM {
+			if d := math.Abs(got.MultiPerson.RatesBPM[j] - want.MultiPerson.RatesBPM[j]); d > bpmTol {
+				t.Fatalf("stride %d (tracked=%v): rate[%d] %v vs exact %v (Δ %g > %g BPM)",
+					strides, engInc.est.lastTracked, j,
+					got.MultiPerson.RatesBPM[j], want.MultiPerson.RatesBPM[j], d, bpmTol)
+			}
+		}
+	}
+	if !gapSeen {
+		t.Fatal("gap injection never triggered a window re-anchor")
+	}
+	if compared < 15 {
+		t.Fatalf("only %d strides compared", compared)
+	}
+	if postGapCompared < 5 {
+		t.Fatalf("only %d strides compared after the gap re-anchor", postGapCompared)
+	}
+	if tracked == 0 {
+		t.Fatal("no stride used the tracked subspace")
+	}
+	est := engInc.est
+	if est.exactRefreshes == 0 || est.exactRefreshes >= uint64(strides) {
+		t.Fatalf("exact refreshes %d out of %d strides: K=8 schedule not engaged", est.exactRefreshes, strides)
+	}
+	if est.trackerResets == 0 {
+		t.Fatal("gap re-anchor did not reset the subspace tracker")
+	}
+	if est.lastResidual <= 0 {
+		t.Fatal("tracker never reported a residual")
+	}
+}
+
+// TestTrackedDWTWithinTolerance covers the single-person path: the
+// incremental DWT bands feed the peaks estimator, whose breathing rate must
+// track the exact transform's. The peaks estimator quantizes on its window
+// support and jitters by ~±0.08 BPM between consecutive exact strides, so
+// the per-stride bound is set just above that intrinsic jitter while the
+// run-average deviation must stay within the 0.05 BPM contract; on
+// exact-refresh strides the outputs must agree to the last bit.
+func TestTrackedDWTWithinTolerance(t *testing.T) {
+	const rate = 100.0
+	const strideTol = 0.15
+	const meanTol = 0.05
+	engInc, engExact := twoEngines(t, rate, 60, 5, 1, func(a, b *Config) {
+		a.EstimateRefreshEvery = 8
+		b.EstimateRefreshEvery = 0
+	})
+
+	sim := newFixedSim(t, rate, 15, 21)
+	total := int(160 * rate)
+	strides, compared, incBands := 0, 0, 0
+	sumDelta := 0.0
+	for i := 0; i < total; i++ {
+		p := sim.NextPacket()
+		engInc.push(p)
+		engExact.push(p)
+		if !engInc.ready() {
+			continue
+		}
+		strides++
+		got, errGot := engInc.process()
+		want, errWant := engExact.process()
+		if errGot != nil || errWant != nil {
+			continue
+		}
+		if got.Breathing == nil || want.Breathing == nil {
+			continue
+		}
+		if got.Bands != nil && got.Bands.Decomposition == nil {
+			incBands++
+		}
+		compared++
+		d := math.Abs(got.Breathing.RateBPM - want.Breathing.RateBPM)
+		sumDelta += d
+		if d > strideTol {
+			t.Fatalf("stride %d: breathing %v vs exact %v (Δ %g > %g BPM)",
+				strides, got.Breathing.RateBPM, want.Breathing.RateBPM, d, strideTol)
+		}
+		if engInc.est.exactStride && d != 0 {
+			t.Fatalf("stride %d: exact-refresh stride differs: %v vs %v",
+				strides, got.Breathing.RateBPM, want.Breathing.RateBPM)
+		}
+	}
+	if compared < 12 {
+		t.Fatalf("only %d strides compared", compared)
+	}
+	if incBands == 0 {
+		t.Fatal("no stride served bands from the streaming DWT")
+	}
+	if mean := sumDelta / float64(compared); mean > meanTol {
+		t.Fatalf("mean breathing deviation %g > %g BPM over %d strides", mean, meanTol, compared)
+	}
+}
+
+// TestMultiMonitorTrackedRaceStress drives several Monitors with the
+// incremental estimate stage enabled concurrently — feeding, draining, and
+// closing from separate goroutines — so the -race job exercises the
+// tracker state alongside the Monitor's atomics.
+func TestMultiMonitorTrackedRaceStress(t *testing.T) {
+	const rate = 50.0
+	const monitors = 3
+	var wg sync.WaitGroup
+	for mi := 0; mi < monitors; mi++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			cfg := DefaultMonitorConfig()
+			cfg.SampleRate = rate
+			cfg.Pipeline = ConfigForRate(rate)
+			cfg.WindowSeconds = 20
+			cfg.UpdateEverySeconds = 2
+			cfg.Pipeline.EstimateRefreshEvery = 2
+			m, err := NewMonitor(cfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			var drain sync.WaitGroup
+			drain.Add(1)
+			go func() {
+				defer drain.Done()
+				for range m.Updates() {
+				}
+			}()
+			go func() {
+				for m.Health().Accepted < uint64(25*rate) {
+					time.Sleep(time.Millisecond)
+				}
+				m.Close()
+			}()
+			sim := newFixedSim(t, rate, 14, seed)
+			for i := 0; i < int(40*rate); i++ {
+				if !m.Ingest(sim.NextPacket()) {
+					break
+				}
+			}
+			m.Close()
+			drain.Wait()
+			h := m.Health()
+			if h.TrackerResets > 0 && h.ExactRefreshes == 0 {
+				t.Errorf("monitor %d: tracker resets without any refresh", seed)
+			}
+		}(int64(mi + 1))
+	}
+	wg.Wait()
+}
+
+// TestEstimateStateSurvivesNonStationaryStride checks the pending-slide
+// accounting: strides that fail before the estimate stage (no full
+// stationary window) must not desynchronize the streams — the next clean
+// stride re-anchors and keeps producing finite estimates.
+func TestEstimateStateSurvivesNonStationaryStride(t *testing.T) {
+	const rate = 100.0
+	engInc, engExact := twoEngines(t, rate, 60, 5, 2, func(a, b *Config) {
+		a.EstimateRefreshEvery = 4
+		b.EstimateRefreshEvery = 0
+	})
+
+	sim := newFixedMultiSim(t, rate, []float64{13, 18}, 5)
+	total := int(140 * rate)
+	burstAt := int(80 * rate)
+	burstLen := int(6 * rate)
+	compared := 0
+	for i := 0; i < total; i++ {
+		p := sim.NextPacket()
+		if i >= burstAt && i < burstAt+burstLen {
+			// Large phase perturbation across all cells: the environment
+			// detector marks these windows non-stationary, so strides fail
+			// (or run on a partial segment) until the burst slides out.
+			for a := range p.CSI {
+				for s := range p.CSI[a] {
+					c := p.CSI[a][s]
+					rot := complex(math.Cos(float64(i%7)), math.Sin(float64(i%7)))
+					p.CSI[a][s] = c * rot * 3
+				}
+			}
+		}
+		engInc.push(p)
+		engExact.push(p)
+		if !engInc.ready() {
+			continue
+		}
+		got, errGot := engInc.process()
+		want, errWant := engExact.process()
+		if (errGot == nil) != (errWant == nil) {
+			t.Fatalf("packet %d: err disagreement: inc %v, exact %v", i, errGot, errWant)
+		}
+		if errGot != nil || got.MultiPerson == nil || want.MultiPerson == nil {
+			continue
+		}
+		compared++
+		for j, r := range got.MultiPerson.RatesBPM {
+			if !isFinite(r) {
+				t.Fatalf("packet %d: non-finite tracked rate[%d]", i, j)
+			}
+			if d := math.Abs(r - want.MultiPerson.RatesBPM[j]); d > 0.05 {
+				t.Fatalf("packet %d: rate[%d] %v vs exact %v after burst (Δ %g)",
+					i, j, r, want.MultiPerson.RatesBPM[j], d)
+			}
+		}
+	}
+	if compared < 8 {
+		t.Fatalf("only %d strides compared", compared)
+	}
+}

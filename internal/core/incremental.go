@@ -119,6 +119,11 @@ type strideEngine struct {
 	// lastSmoothedSamples is per-subcarrier telemetry: how many samples the
 	// last stride actually smoothed (window length on the full path).
 	lastSmoothedSamples int
+
+	// est is the incremental estimate stage (streaming correlation,
+	// subspace tracking, DWT boundary reuse); nil unless
+	// Config.EstimateRefreshEvery > 0 on the cached path.
+	est *estimateState
 }
 
 // newStrideEngine sizes the ring for cfg's window. cfg must already be
@@ -154,6 +159,9 @@ func newStrideEngine(cfg *MonitorConfig, proc *Processor) *strideEngine {
 		e.next = makeMatrix(e.nSub, window)
 		e.weaker = make([]float64, e.nSub)
 		e.eligible = make([]bool, e.nSub)
+		if proc.cfg.EstimateRefreshEvery > 0 {
+			e.est = newEstimateState(&proc.cfg, proc.nPersons)
+		}
 	} else {
 		e.pkts = make([]trace.Packet, window)
 	}
@@ -249,6 +257,7 @@ func (e *strideEngine) resetWindow() {
 	e.sinceLast = 0
 	e.haveSmoothed = false
 	e.prevPos = 0
+	e.est.reset()
 }
 
 // ready reports whether a full window is buffered and at least one stride of
@@ -292,6 +301,7 @@ func (e *strideEngine) processFull() (*Result, error) {
 // the slide), only the head margin and the new tail are smoothed; otherwise
 // every subcarrier is smoothed in full — still without touching raw CSI.
 func (e *strideEngine) processIncremental(slide int) (*Result, error) {
+	e.est.beginStride(slide)
 	n := e.window
 	pcfg := &e.proc.cfg
 	obs := pcfg.Observer
@@ -385,7 +395,7 @@ func (e *strideEngine) processIncremental(slide int) (*Result, error) {
 			Evidence:    ev,
 		})
 	}
-	return e.proc.finishSmoothed(e.smoothed, e.eligible, e.cfg.SampleRate)
+	return e.proc.finishSmoothed(e.smoothed, e.eligible, e.cfg.SampleRate, e.est)
 }
 
 // strideSubcarrier updates one subcarrier for the current stride: circular

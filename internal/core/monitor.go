@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"log/slog"
+	"math"
 	"sync"
 	"time"
 
@@ -311,6 +312,14 @@ func (m *Monitor) run() {
 			res, err := engine.process()
 			if m.metrics.strideSeconds != nil {
 				m.metrics.strideSeconds.Observe(time.Since(t0).Seconds())
+			}
+			if engine.est != nil {
+				// Republish the stride engine's plain counters through
+				// the atomics so Health() and metrics gauges read them
+				// off the worker goroutine safely.
+				m.health.exactRefreshes.Store(engine.est.exactRefreshes)
+				m.health.trackerResets.Store(engine.est.trackerResets)
+				m.health.residualBits.Store(math.Float64bits(engine.est.lastResidual))
 			}
 			u := Update{
 				Time:    p.Time,

@@ -105,6 +105,129 @@ func BenchmarkDWTDenoise(b *testing.B) {
 	}
 }
 
+// BenchmarkEstimateStage isolates the estimate stage's per-stride cost
+// from smoothing: the exact estimators (full correlation + EigSym
+// root-MUSIC, full DWT) against the incremental path (streaming
+// correlation rank-one updates + subspace tracking, DWT boundary-state
+// reuse) at the default operating point — 60 s window, 5 s stride, 20 Hz
+// estimation rate, 30 subcarriers, 2 persons. Every variant pays the same
+// window-shift cost per iteration, so the deltas are pure estimator work.
+func BenchmarkEstimateStage(b *testing.B) {
+	const (
+		rows     = 30
+		nDec     = 1200 // 60 s at 20 Hz
+		dSettle  = 1149 // settled prefix at the default smoothing margin
+		slideDec = 100  // 5 s stride
+		fs       = 20.0
+	)
+	// 64 strides of signal, periodic so the window can wrap seamlessly:
+	// every tone's period divides the 320 s pool. The benchmark loop just
+	// re-slices window views into this pool, so iterations pay zero fixture
+	// cost and the deltas below are pure estimator work.
+	const pool = 64 * slideDec
+	cfg := DefaultConfig()
+	cfg.EstimateRefreshEvery = 8
+
+	// Two stationary breathing tones plus measurement noise; each
+	// subcarrier sees them with its own phase and mix, like calibrated
+	// CSI. The noise is drawn once per pool index, so the wrapped window
+	// stays self-consistent. Without it the correlation matrix is
+	// rank-deficient and root-MUSIC's roots sit exactly on the unit
+	// circle — an unrealistically hard numerical corner.
+	rng := rand.New(rand.NewSource(11))
+	full := make([][]float64, rows)
+	for r := range full {
+		full[r] = make([]float64, pool+nDec)
+		pr := float64(r) * 0.7
+		for k := 0; k < pool; k++ {
+			ti := float64(k) / fs
+			full[r][k] = math.Sin(2*math.Pi*0.20*ti+pr) +
+				0.8*math.Sin(2*math.Pi*0.3125*ti+1.3*pr) +
+				0.05*rng.NormFloat64()
+		}
+		copy(full[r][pool:], full[r][:nDec])
+	}
+	// window re-points the calib views at stride i's window start.
+	window := func(calib [][]float64, i int) {
+		s := (i % 64) * slideDec
+		for r := range calib {
+			calib[r] = full[r][s : s+nDec]
+		}
+	}
+
+	b.Run("music-exact", func(b *testing.B) {
+		calib := make([][]float64, rows)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			window(calib, i)
+			if _, err := EstimateBreathingMultiRootMUSIC(calib, fs, 2, &cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("music-incremental", func(b *testing.B) {
+		calib := make([][]float64, rows)
+		window(calib, 0)
+		es := newEstimateState(&cfg, 2)
+		if !es.music.advance(es, calib, nil, fs, nDec, dSettle, -1) {
+			b.Fatal("music stream failed to anchor")
+		}
+		r, err := es.music.sc.Matrix()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := es.music.tracker.Refresh(r); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			window(calib, i+1)
+			if !es.music.advance(es, calib, nil, fs, nDec, dSettle, slideDec) {
+				b.Fatal("music stream lost alignment")
+			}
+			es.music.usable = true
+			es.exactStride = false
+			if _, ok := es.tryMusic(false); !ok {
+				b.Fatal("tracked estimate fell back to exact")
+			}
+		}
+	})
+	b.Run("dwt-exact", func(b *testing.B) {
+		calib := make([][]float64, rows)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			window(calib, i)
+			if _, err := DenoiseDWT(calib[0], fs, &cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dwt-incremental", func(b *testing.B) {
+		calib := make([][]float64, rows)
+		window(calib, 0)
+		sel := &SubcarrierSelection{Selected: 0}
+		var ds dwtStream
+		if !ds.advance(&cfg, calib, sel, fs, nDec, dSettle, -1) {
+			b.Fatal("dwt stream failed to anchor")
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			window(calib, i+1)
+			if !ds.advance(&cfg, calib, sel, fs, nDec, dSettle, slideDec) {
+				b.Fatal("dwt stream lost alignment")
+			}
+			ds.usable = true
+			if _, ok := ds.tryDWT(false); !ok {
+				b.Fatal("incremental bands unavailable")
+			}
+		}
+	})
+}
+
 // BenchmarkMonitorStride measures one streaming stride at the default
 // monitor operating point (60 s window, 5 s stride, 400 Hz): the
 // incremental ring-buffer engine against the from-scratch full-recompute

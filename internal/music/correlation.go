@@ -58,14 +58,10 @@ func CorrelationMatrix(series [][]float64, opts CorrelationOptions) (*linalg.Mat
 	r.Scale(1 / float64(count))
 
 	if opts.ForwardBackward {
-		// R ← (R + J Rᵀ J)/2 with J the exchange matrix.
-		fb := linalg.NewMatrix(m, m)
-		for i := 0; i < m; i++ {
-			for j := 0; j < m; j++ {
-				fb.Set(i, j, (r.At(i, j)+r.At(m-1-i, m-1-j))/2)
-			}
-		}
-		r = fb
+		// R ← (R + J Rᵀ J)/2 with J the exchange matrix, averaged in
+		// place so the hot stride path does not allocate a second M×M
+		// scratch matrix per call.
+		fbAverageInPlace(r)
 	}
 	if opts.DiagonalLoad > 0 {
 		tr, err := r.Trace()

@@ -2,9 +2,6 @@ package music
 
 import (
 	"fmt"
-	"math"
-	"math/cmplx"
-	"sort"
 
 	"phasebeat/internal/linalg"
 )
@@ -34,47 +31,9 @@ func ESPRIT(r *linalg.Matrix, nSignals int, fs float64) ([]float64, error) {
 	if err != nil {
 		return nil, fmt.Errorf("music: eigendecomposition: %w", err)
 	}
-
-	// Signal subspace S: the top-nExp eigenvectors; S1/S2 drop the last/
-	// first row respectively.
-	s1 := linalg.NewMatrix(m-1, nExp)
-	s2 := linalg.NewMatrix(m-1, nExp)
-	for c := 0; c < nExp; c++ {
-		v := eig.Vectors.Col(c)
-		for rr := 0; rr < m-1; rr++ {
-			s1.Set(rr, c, v[rr])
-			s2.Set(rr, c, v[rr+1])
-		}
-	}
-
-	// Least squares: Φ = (S1ᵀS1)⁻¹ S1ᵀ S2.
-	s1t := s1.Transpose()
-	gram, err := s1t.Mul(s1)
-	if err != nil {
-		return nil, err
-	}
-	rhs, err := s1t.Mul(s2)
-	if err != nil {
-		return nil, err
-	}
-	phi, err := linalg.Solve(gram, rhs)
-	if err != nil {
-		return nil, fmt.Errorf("music: ESPRIT least squares: %w", err)
-	}
-
-	vals, err := linalg.Eigenvalues(phi)
-	if err != nil {
-		return nil, fmt.Errorf("music: rotation eigenvalues: %w", err)
-	}
-	freqs := make([]float64, 0, len(vals))
-	for _, z := range vals {
-		f := math.Abs(cmplx.Phase(z)) * fs / (2 * math.Pi)
-		freqs = append(freqs, f)
-	}
-	sort.Float64s(freqs)
-	out := clusterFrequencies(freqs, nSignals, fs)
-	sort.Float64s(out)
-	return out, nil
+	// Signal subspace: the top-nExp eigenvectors (EigSym sorts
+	// descending), consumed through the shared shift-invariance core.
+	return espritFromBasis(eig.Vectors, nExp, nSignals, fs)
 }
 
 // EstimateFrequenciesESPRIT mirrors EstimateFrequencies with the ESPRIT

@@ -2,9 +2,6 @@ package music
 
 import (
 	"fmt"
-	"math"
-	"math/cmplx"
-	"sort"
 
 	"phasebeat/internal/linalg"
 )
@@ -43,14 +40,16 @@ func RootMUSIC(r *linalg.Matrix, nSignals int, fs float64) ([]float64, error) {
 	}
 
 	// Noise-polynomial coefficients: c[k+M-1] = Σ_v Σ_i v[i]·v[i+k],
-	// k = -(M-1) … M-1 (autocorrelation of each noise eigenvector).
+	// k = -(M-1) … M-1 (autocorrelation of each noise eigenvector),
+	// read straight out of the eigenvector matrix so no per-vector
+	// column copies are allocated.
 	coeffs := make([]float64, 2*m-1)
+	vec := eig.Vectors
 	for vi := nExp; vi < m; vi++ {
-		v := eig.Vectors.Col(vi)
 		for k := 0; k < m; k++ {
 			var acc float64
 			for i := 0; i+k < m; i++ {
-				acc += v[i] * v[i+k]
+				acc += vec.At(i, vi) * vec.At(i+k, vi)
 			}
 			coeffs[m-1+k] += acc
 			if k > 0 {
@@ -63,34 +62,13 @@ func RootMUSIC(r *linalg.Matrix, nSignals int, fs float64) ([]float64, error) {
 	if err != nil {
 		return nil, fmt.Errorf("music: noise polynomial roots: %w", err)
 	}
-
-	// Keep roots strictly inside the unit circle (one of each reciprocal
-	// pair), then pick the nExp closest to the circle.
-	inside := roots[:0]
-	for _, z := range roots {
-		if cmplx.Abs(z) < 1 {
-			inside = append(inside, z)
-		}
+	selected, err := selectInsideRoots(roots, nExp)
+	if err != nil {
+		return nil, err
 	}
-	if len(inside) < nExp {
-		return nil, fmt.Errorf("music: only %d roots inside unit circle, need %d", len(inside), nExp)
-	}
-	sort.Slice(inside, func(i, j int) bool {
-		return 1-cmplx.Abs(inside[i]) < 1-cmplx.Abs(inside[j])
-	})
-	selected := inside[:nExp]
-
-	// Convert to positive frequencies; conjugate pairs collapse to the
-	// same |f|, leaving nSignals values after clustering.
-	freqs := make([]float64, 0, nExp)
-	for _, z := range selected {
-		f := math.Abs(cmplx.Phase(z)) * fs / (2 * math.Pi)
-		freqs = append(freqs, f)
-	}
-	sort.Float64s(freqs)
-	out := clusterFrequencies(freqs, nSignals, fs)
-	sort.Float64s(out)
-	return out, nil
+	// Conjugate pairs collapse to the same |f|, leaving nSignals values
+	// after clustering.
+	return freqsFromRoots(selected, nSignals, fs), nil
 }
 
 // clusterFrequencies merges the 2·nSignals magnitudes (conjugate pairs)

@@ -1,0 +1,270 @@
+package music
+
+import (
+	"fmt"
+
+	"phasebeat/internal/linalg"
+)
+
+// StreamingCorrelation maintains the M×M temporal correlation matrix of
+// CorrelationMatrix incrementally: as each series advances one sample, the
+// length-M window that enters the sliding view is rank-one *updated* into a
+// raw accumulator and the window that leaves is rank-one *downdated* out of
+// it, so a stride that appends k samples per row costs O(k·M²) instead of
+// the O(V·M²) full rebuild over the V-sample view.
+//
+// The accumulator holds the uncentered Σ w·wᵀ over live windows. Mean
+// removal (the batch path's per-row dsp.RemoveMean), forward-backward
+// averaging, and diagonal loading are all applied at read time in Matrix,
+// never folded into the accumulator — downdating therefore subtracts
+// exactly the outer products that were added, and the only state that
+// changes per append is the O(M) window-sum bookkeeping.
+//
+// Appended values are expected to be committed, i.e. they never change
+// retroactively (PhaseBeat's stride engine only feeds samples whose
+// smoothing context is settled). The zero value is not usable; construct
+// with NewStreamingCorrelation. Not safe for concurrent use.
+type StreamingCorrelation struct {
+	opts CorrelationOptions
+	view int // V: sliding-view length per row, in samples
+
+	rows []streamRow
+
+	// acc is Σ over live windows (all rows) of w·wᵀ, uncentered.
+	acc  *linalg.Matrix
+	nWin int
+
+	// Scratch reused across calls: one gathered window, the read-out
+	// matrix handed to callers, and the per-element mean correction.
+	win  []float64
+	read *linalg.Matrix
+	q    []float64
+}
+
+// streamRow is the per-series sliding-view state.
+type streamRow struct {
+	ring   []float64 // last min(count, view) samples, indexed count%view
+	count  int       // total samples appended to this row
+	sum    float64   // sum of the samples currently in view
+	winSum []float64 // Σ over this row's live windows of the window vector
+	nWin   int       // live windows contributed by this row
+}
+
+// NewStreamingCorrelation builds a streaming engine for nRows series with a
+// per-row sliding view of viewLen samples. opts.WindowLen is the matrix
+// dimension M; viewLen must be >= M so at least one window fits the view.
+func NewStreamingCorrelation(nRows, viewLen int, opts CorrelationOptions) (*StreamingCorrelation, error) {
+	m := opts.WindowLen
+	if m < 2 {
+		return nil, fmt.Errorf("music: window length must be >= 2, got %d", m)
+	}
+	if nRows < 1 {
+		return nil, fmt.Errorf("music: need at least one series, got %d", nRows)
+	}
+	if viewLen < m {
+		return nil, fmt.Errorf("music: view length %d shorter than window %d", viewLen, m)
+	}
+	sc := &StreamingCorrelation{
+		opts: opts,
+		view: viewLen,
+		rows: make([]streamRow, nRows),
+		acc:  linalg.NewMatrix(m, m),
+		win:  make([]float64, m),
+		read: linalg.NewMatrix(m, m),
+		q:    make([]float64, m),
+	}
+	for r := range sc.rows {
+		sc.rows[r].ring = make([]float64, viewLen)
+		sc.rows[r].winSum = make([]float64, m)
+	}
+	return sc, nil
+}
+
+// Rows returns the number of series the engine was built for.
+func (sc *StreamingCorrelation) Rows() int { return len(sc.rows) }
+
+// ViewLen returns the per-row sliding-view length in samples.
+func (sc *StreamingCorrelation) ViewLen() int { return sc.view }
+
+// Windows returns the number of live length-M windows across all rows.
+func (sc *StreamingCorrelation) Windows() int { return sc.nWin }
+
+// Count returns the number of samples appended to the given row.
+func (sc *StreamingCorrelation) Count(row int) int { return sc.rows[row].count }
+
+// Ready reports whether every row has a full view, so Matrix matches a
+// batch CorrelationMatrix over the trailing viewLen samples of each row.
+func (sc *StreamingCorrelation) Ready() bool {
+	for r := range sc.rows {
+		if sc.rows[r].count < sc.view {
+			return false
+		}
+	}
+	return true
+}
+
+// Reset discards all state so the engine can re-anchor on a fresh stream
+// (gap re-anchoring, grid changes) without reallocating.
+func (sc *StreamingCorrelation) Reset() {
+	zeroMatrix(sc.acc)
+	sc.nWin = 0
+	for r := range sc.rows {
+		row := &sc.rows[r]
+		row.count = 0
+		row.sum = 0
+		row.nWin = 0
+		for i := range row.winSum {
+			row.winSum[i] = 0
+		}
+	}
+}
+
+// Append slides row's view forward by one sample: the oldest window is
+// downdated out of the accumulator (once the view is full) and the window
+// ending at v is updated into it (once m samples exist).
+func (sc *StreamingCorrelation) Append(row int, v float64) {
+	m := sc.opts.WindowLen
+	rw := &sc.rows[row]
+	if rw.count >= sc.view {
+		// The window starting at the oldest in-view sample leaves.
+		start := rw.count - sc.view
+		sc.gather(rw, start)
+		sc.applyWindow(rw, -1)
+		rw.sum -= rw.ring[start%sc.view]
+	}
+	rw.ring[rw.count%sc.view] = v
+	rw.count++
+	rw.sum += v
+	if rw.count >= m {
+		sc.gather(rw, rw.count-m)
+		sc.applyWindow(rw, 1)
+	}
+}
+
+// gather copies the length-M window starting at absolute sample index
+// start from the row's ring into the shared window scratch.
+func (sc *StreamingCorrelation) gather(rw *streamRow, start int) {
+	m := sc.opts.WindowLen
+	for i := 0; i < m; i++ {
+		sc.win[i] = rw.ring[(start+i)%sc.view]
+	}
+}
+
+// applyWindow rank-one updates (sign=+1) or downdates (sign=-1) the window
+// currently held in the scratch buffer.
+func (sc *StreamingCorrelation) applyWindow(rw *streamRow, sign float64) {
+	// acc is symmetric by construction: OuterAccumulate writes v[i]·v[j]
+	// for every (i, j), and float multiplication is commutative, so a
+	// downdate cancels the matching update exactly up to summation order.
+	if err := sc.acc.OuterAccumulate(sc.win, sign); err != nil {
+		// Impossible: win is always exactly M long.
+		panic(fmt.Sprintf("music: streaming outer product: %v", err))
+	}
+	for i, v := range sc.win {
+		rw.winSum[i] += sign * v
+	}
+	if sign > 0 {
+		rw.nWin++
+		sc.nWin++
+	} else {
+		rw.nWin--
+		sc.nWin--
+	}
+}
+
+// Matrix assembles the current correlation matrix: the batch path's mean
+// removal is applied exactly via the expansion
+//
+//	Σ (w-μ1)(w-μ1)ᵀ = Σ w·wᵀ − μ(1·sᵀ + s·1ᵀ) + c·μ²·11ᵀ
+//
+// per row (s = row window sum, c = row window count, μ = row view mean),
+// then the count normalization, forward-backward averaging, and diagonal
+// loading from CorrelationOptions — all into a scratch matrix owned by the
+// engine. The returned matrix is valid until the next Append, Reset, or
+// Matrix call; callers must not retain or modify it across those.
+func (sc *StreamingCorrelation) Matrix() (*linalg.Matrix, error) {
+	m := sc.opts.WindowLen
+	if sc.nWin == 0 {
+		return nil, fmt.Errorf("%w: no length-%d windows available", ErrNotEnoughData, m)
+	}
+	t := sc.read
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			t.Set(i, j, sc.acc.At(i, j))
+		}
+	}
+
+	// Fold every row's mean correction into one vector and one scalar:
+	// q[i] = Σ_r μ_r·s_r[i] and w2 = Σ_r c_r·μ_r², so the correction is
+	// T[i][j] += −q[i] − q[j] + w2.
+	for i := range sc.q {
+		sc.q[i] = 0
+	}
+	var w2 float64
+	for r := range sc.rows {
+		rw := &sc.rows[r]
+		if rw.nWin == 0 {
+			continue
+		}
+		viewed := rw.count
+		if viewed > sc.view {
+			viewed = sc.view
+		}
+		mu := rw.sum / float64(viewed)
+		for i := 0; i < m; i++ {
+			sc.q[i] += mu * rw.winSum[i]
+		}
+		w2 += float64(rw.nWin) * mu * mu
+	}
+	inv := 1 / float64(sc.nWin)
+	for i := 0; i < m; i++ {
+		qi := sc.q[i]
+		for j := 0; j < m; j++ {
+			t.Set(i, j, (t.At(i, j)-qi-sc.q[j]+w2)*inv)
+		}
+	}
+
+	if sc.opts.ForwardBackward {
+		fbAverageInPlace(t)
+	}
+	if sc.opts.DiagonalLoad > 0 {
+		tr, err := t.Trace()
+		if err != nil {
+			return nil, err
+		}
+		load := sc.opts.DiagonalLoad * tr / float64(m)
+		for i := 0; i < m; i++ {
+			t.Set(i, i, t.At(i, i)+load)
+		}
+	}
+	return t, nil
+}
+
+// fbAverageInPlace replaces r with (R + J Rᵀ J)/2 (J the exchange matrix)
+// without scratch: the map (i, j) ↔ (m-1-i, m-1-j) is an involution, so
+// each pair is averaged once.
+func fbAverageInPlace(r *linalg.Matrix) {
+	m := r.Rows()
+	total := m * m
+	for idx := 0; idx < total; idx++ {
+		partner := total - 1 - idx
+		if partner <= idx {
+			break
+		}
+		i, j := idx/m, idx%m
+		pi, pj := partner/m, partner%m
+		avg := (r.At(i, j) + r.At(pi, pj)) / 2
+		r.Set(i, j, avg)
+		r.Set(pi, pj, avg)
+	}
+}
+
+// zeroMatrix clears every entry of m.
+func zeroMatrix(m *linalg.Matrix) {
+	rows, cols := m.Rows(), m.Cols()
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m.Set(i, j, 0)
+		}
+	}
+}

@@ -1,0 +1,354 @@
+package music
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"phasebeat/internal/linalg"
+)
+
+// maxMatDiff returns the largest absolute element difference between a
+// and b.
+func maxMatDiff(a, b *linalg.Matrix) float64 {
+	var m float64
+	for i := 0; i < a.Rows(); i++ {
+		for j := 0; j < a.Cols(); j++ {
+			if d := math.Abs(a.At(i, j) - b.At(i, j)); d > m {
+				m = d
+			}
+		}
+	}
+	return m
+}
+
+// batchView returns the trailing viewLen samples of each mean-removed
+// series — what the batch path would see after sliding to the same point.
+// Mean removal is left to CorrelationMatrix's caller in production, so the
+// reference here removes it explicitly like prepareMusicSeries does.
+func batchView(series [][]float64, end, viewLen int) [][]float64 {
+	out := make([][]float64, len(series))
+	for s := range series {
+		win := series[s][end-viewLen : end]
+		var mean float64
+		for _, v := range win {
+			mean += v
+		}
+		mean /= float64(viewLen)
+		row := make([]float64, viewLen)
+		for i, v := range win {
+			row[i] = v - mean
+		}
+		out[s] = row
+	}
+	return out
+}
+
+func TestStreamingCorrelationMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const (
+		nRows   = 4
+		viewLen = 120
+		m       = 32
+		total   = 600
+	)
+	opts := CorrelationOptions{WindowLen: m, ForwardBackward: true, DiagonalLoad: 1e-6}
+	series := makeSinusoids(rng, []float64{0.25, 0.4}, 2, total, nRows, 0.05)
+
+	sc, err := NewStreamingCorrelation(nRows, viewLen, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Ready() {
+		t.Fatal("engine ready before any data")
+	}
+
+	fed := 0
+	feed := func(upto int) {
+		for ; fed < upto; fed++ {
+			for r := 0; r < nRows; r++ {
+				sc.Append(r, series[r][fed])
+			}
+		}
+	}
+
+	// Compare right when the view first fills, then repeatedly after
+	// sliding by stride-sized and odd-sized amounts so update/downdate
+	// bookkeeping is exercised across many evictions.
+	checkpoints := []int{viewLen, viewLen + 10, viewLen + 100, 350, 351, total}
+	for _, end := range checkpoints {
+		feed(end)
+		if !sc.Ready() {
+			t.Fatalf("engine not ready at %d samples", end)
+		}
+		got, err := sc.Matrix()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := CorrelationMatrix(batchView(series, end, viewLen), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := maxMatDiff(got, want); d > 1e-10 {
+			t.Fatalf("at %d samples: streaming matrix differs from batch by %g", end, d)
+		}
+		if !got.IsSymmetric(1e-12) {
+			t.Fatalf("at %d samples: streaming matrix not symmetric", end)
+		}
+	}
+
+	// Reset must re-anchor cleanly: refeed a suffix and match again.
+	sc.Reset()
+	if sc.Ready() || sc.Windows() != 0 {
+		t.Fatal("reset did not clear state")
+	}
+	for i := total - viewLen; i < total; i++ {
+		for r := 0; r < nRows; r++ {
+			sc.Append(r, series[r][i])
+		}
+	}
+	got, err := sc.Matrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := CorrelationMatrix(batchView(series, total, viewLen), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxMatDiff(got, want); d > 1e-10 {
+		t.Fatalf("after reset: streaming matrix differs from batch by %g", d)
+	}
+}
+
+func TestStreamingCorrelationLongSlideStability(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const (
+		viewLen = 120
+		m       = 32
+		total   = 6000 // ~49 full view turnovers of update/downdate churn
+	)
+	opts := CorrelationOptions{WindowLen: m, ForwardBackward: true, DiagonalLoad: 1e-6}
+	series := makeSinusoids(rng, []float64{0.3}, 2, total, 2, 0.1)
+
+	sc, err := NewStreamingCorrelation(2, viewLen, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < total; i++ {
+		sc.Append(0, series[0][i])
+		sc.Append(1, series[1][i])
+	}
+	got, err := sc.Matrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := CorrelationMatrix(batchView(series, total, viewLen), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxMatDiff(got, want); d > 1e-9 {
+		t.Fatalf("after %d downdates: drift %g exceeds tolerance", total-viewLen, d)
+	}
+}
+
+func TestStreamingCorrelationErrors(t *testing.T) {
+	if _, err := NewStreamingCorrelation(0, 120, CorrelationOptions{WindowLen: 32}); err == nil {
+		t.Fatal("expected error for zero rows")
+	}
+	if _, err := NewStreamingCorrelation(1, 16, CorrelationOptions{WindowLen: 32}); err == nil {
+		t.Fatal("expected error for view shorter than window")
+	}
+	if _, err := NewStreamingCorrelation(1, 120, CorrelationOptions{WindowLen: 1}); err == nil {
+		t.Fatal("expected error for tiny window")
+	}
+	sc, err := NewStreamingCorrelation(1, 120, CorrelationOptions{WindowLen: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Matrix(); err == nil {
+		t.Fatal("expected ErrNotEnoughData from empty engine")
+	}
+}
+
+func TestSubspaceTrackerFollowsEigSubspace(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const (
+		viewLen = 120
+		m       = 32
+		fs      = 2.0
+		total   = 1200
+		stride  = 10
+	)
+	opts := CorrelationOptions{WindowLen: m, ForwardBackward: true, DiagonalLoad: 1e-6}
+	series := makeSinusoids(rng, []float64{0.25, 0.4}, fs, total, 6, 0.05)
+
+	sc, err := NewStreamingCorrelation(6, viewLen, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := NewSubspaceTracker(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tk.Warm() {
+		t.Fatal("tracker warm before refresh")
+	}
+
+	fed := 0
+	feed := func(upto int) {
+		for ; fed < upto; fed++ {
+			for r := 0; r < 6; r++ {
+				sc.Append(r, series[r][fed])
+			}
+		}
+	}
+	feed(viewLen)
+	r0, err := sc.Matrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tk.Refresh(r0); err != nil {
+		t.Fatal(err)
+	}
+	if !tk.Warm() {
+		t.Fatal("tracker cold after refresh")
+	}
+	if tk.Residual() > 1e-8 {
+		t.Fatalf("refresh residual %g should be ~0", tk.Residual())
+	}
+
+	var warm RootState
+	for end := viewLen + stride; end <= total; end += stride {
+		feed(end)
+		r, err := sc.Matrix()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tk.Track(r); err != nil {
+			t.Fatal(err)
+		}
+		if tk.Residual() > 0.05 {
+			t.Fatalf("at %d samples: tracked residual %g too large", end, tk.Residual())
+		}
+
+		// Tracked root-MUSIC must agree with exact eig root-MUSIC on
+		// the same matrix to well under 0.05 BPM (≈0.00083 Hz).
+		got, err := RootMUSICFromSubspace(tk.Basis(), 2, fs, &warm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := RootMUSIC(r, 2, fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("at %d samples: %d freqs vs %d", end, len(got), len(want))
+		}
+		for i := range got {
+			if d := math.Abs(got[i] - want[i]); d > 2e-4 {
+				t.Fatalf("at %d samples: tracked freq %d differs by %g Hz", end, i, d)
+			}
+		}
+
+		// Tracked ESPRIT against exact ESPRIT likewise.
+		gotE, err := ESPRITFromSubspace(tk.Basis(), 2, fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantE, err := ESPRIT(r, 2, fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range gotE {
+			if d := math.Abs(gotE[i] - wantE[i]); d > 2e-4 {
+				t.Fatalf("at %d samples: tracked ESPRIT freq %d differs by %g Hz", end, i, d)
+			}
+		}
+	}
+
+	tk.Reset()
+	if tk.Warm() || tk.Residual() != 0 {
+		t.Fatal("reset did not cool tracker")
+	}
+	if err := tk.Track(r0); err == nil {
+		t.Fatal("cold tracker must refuse Track")
+	}
+}
+
+func TestRootMUSICFromSubspaceMatchesExactBasis(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	series := makeSinusoids(rng, []float64{0.25, 0.4}, 2, 400, 6, 0.05)
+	opts := CorrelationOptions{WindowLen: 32, ForwardBackward: true, DiagonalLoad: 1e-6}
+	r, err := CorrelationMatrix(series, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eig, err := linalg.EigSym(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With the exact eigenvector basis, the projector-based noise
+	// polynomial is mathematically identical to the noise-eigenvector
+	// sum, so frequencies must match to float precision.
+	got, err := RootMUSICFromSubspace(eig.Vectors, 2, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := RootMUSIC(r, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d freqs vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if d := math.Abs(got[i] - want[i]); d > 1e-9 {
+			t.Fatalf("freq %d: %g vs %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRootStateWarmRefinement(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	series := makeSinusoids(rng, []float64{0.25, 0.4}, 2, 500, 6, 0.05)
+	opts := CorrelationOptions{WindowLen: 32, ForwardBackward: true, DiagonalLoad: 1e-6}
+
+	var warm RootState
+	prev := []float64(nil)
+	for end := 400; end <= 500; end += 20 {
+		view := make([][]float64, len(series))
+		for s := range series {
+			view[s] = series[s][end-400 : end]
+		}
+		r, err := CorrelationMatrix(view, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eig, err := linalg.EigSym(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := RootMUSICFromSubspace(eig.Vectors, 2, 2, &warm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := RootMUSICFromSubspace(eig.Vectors, 2, 2, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if d := math.Abs(got[i] - cold[i]); d > 1e-8 {
+				t.Fatalf("at %d: warm-started freq %d differs from cold by %g", end, i, d)
+			}
+		}
+		_ = prev
+		prev = got
+	}
+	if len(warm.roots) != 4 {
+		t.Fatalf("warm state holds %d roots, want 4", len(warm.roots))
+	}
+	warm.Reset()
+	if len(warm.roots) != 0 {
+		t.Fatal("RootState.Reset did not clear roots")
+	}
+}

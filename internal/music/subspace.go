@@ -1,0 +1,435 @@
+package music
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sort"
+
+	"phasebeat/internal/linalg"
+)
+
+// SubspaceTracker maintains an orthonormal basis U of the dominant
+// (signal) subspace of a slowly varying correlation matrix across strides,
+// in the PAST/FAPI family: instead of a full eigendecomposition per stride,
+// Track refines the previous stride's basis with warm-started orthogonal
+// iteration (power steps + modified Gram-Schmidt), which converges to the
+// same invariant subspace because consecutive stride matrices differ by a
+// small perturbation. Refresh recomputes the basis exactly with EigSym to
+// bound accumulated drift (the K-refresh policy lives in the caller).
+//
+// Both root-MUSIC and ESPRIT consume only the subspace itself — their
+// outputs are invariant under any orthonormal change of basis U → U·Q
+// (the projector U·Uᵀ and the similarity class of the rotation Φ are
+// basis-free) — so the tracker never needs individual eigenvectors.
+//
+// Not safe for concurrent use. The zero value is not usable; construct
+// with NewSubspaceTracker.
+type SubspaceTracker struct {
+	m, nExp int
+
+	u    *linalg.Matrix // m×nExp, orthonormal columns once warm
+	warm bool
+
+	// residual is ‖R·U − U·(UᵀR U)‖_F / ‖R‖_F after the last Track or
+	// Refresh — a scale-free measure of how far U is from an invariant
+	// subspace of R.
+	residual float64
+
+	// Scratch reused across calls.
+	b     *linalg.Matrix // m×nExp
+	small *linalg.Matrix // nExp×nExp
+	col   []float64      // length m
+}
+
+// NewSubspaceTracker builds a tracker for the 2·nSignals-dimensional
+// signal subspace of an m×m correlation matrix.
+func NewSubspaceTracker(m, nSignals int) (*SubspaceTracker, error) {
+	nExp := 2 * nSignals
+	if nSignals < 1 {
+		return nil, fmt.Errorf("music: nSignals must be >= 1, got %d", nSignals)
+	}
+	if nExp >= m {
+		return nil, fmt.Errorf("music: window %d too small for %d signals", m, nSignals)
+	}
+	return &SubspaceTracker{
+		m:     m,
+		nExp:  nExp,
+		u:     linalg.NewMatrix(m, nExp),
+		b:     linalg.NewMatrix(m, nExp),
+		small: linalg.NewMatrix(nExp, nExp),
+		col:   make([]float64, m),
+	}, nil
+}
+
+// Warm reports whether the tracker holds a usable basis.
+func (t *SubspaceTracker) Warm() bool { return t.warm }
+
+// Residual returns the relative invariance residual after the last Track
+// or Refresh; zero before the tracker has ever run.
+func (t *SubspaceTracker) Residual() float64 { return t.residual }
+
+// Basis returns the tracked orthonormal basis (m×nExp). The matrix is
+// owned by the tracker: callers must not modify it, and its contents
+// change on the next Track/Refresh.
+func (t *SubspaceTracker) Basis() *linalg.Matrix { return t.u }
+
+// Reset forgets the tracked basis, forcing the next use through Refresh.
+func (t *SubspaceTracker) Reset() {
+	t.warm = false
+	t.residual = 0
+}
+
+// Refresh recomputes the basis exactly from r via EigSym (descending
+// eigenvalues: the top nExp eigenvectors span the signal subspace).
+func (t *SubspaceTracker) Refresh(r *linalg.Matrix) error {
+	if err := t.check(r); err != nil {
+		return err
+	}
+	eig, err := linalg.EigSym(r)
+	if err != nil {
+		return fmt.Errorf("music: subspace refresh: %w", err)
+	}
+	for c := 0; c < t.nExp; c++ {
+		for i := 0; i < t.m; i++ {
+			t.u.Set(i, c, eig.Vectors.At(i, c))
+		}
+	}
+	t.warm = true
+	t.residual = t.computeResidual(r)
+	return nil
+}
+
+// Track refines the basis toward the dominant subspace of r with two
+// warm-started orthogonal-iteration steps (B = R·U, re-orthonormalize).
+// It requires a warm tracker; a rank collapse (r no longer excites nExp
+// directions) returns an error and cools the tracker so the caller falls
+// back to an exact refresh.
+func (t *SubspaceTracker) Track(r *linalg.Matrix) error {
+	if err := t.check(r); err != nil {
+		return err
+	}
+	if !t.warm {
+		return fmt.Errorf("music: subspace tracker is cold, call Refresh first")
+	}
+	for step := 0; step < 2; step++ {
+		t.mulInto(t.b, r)
+		if err := t.orthonormalize(); err != nil {
+			t.warm = false
+			return err
+		}
+	}
+	t.residual = t.computeResidual(r)
+	return nil
+}
+
+// check validates the matrix dimensions against the tracker.
+func (t *SubspaceTracker) check(r *linalg.Matrix) error {
+	if r.Rows() != t.m || r.Cols() != t.m {
+		return fmt.Errorf("music: tracker built for %dx%d matrices, got %dx%d",
+			t.m, t.m, r.Rows(), r.Cols())
+	}
+	return nil
+}
+
+// mulInto computes dst = r·u.
+func (t *SubspaceTracker) mulInto(dst, r *linalg.Matrix) {
+	for i := 0; i < t.m; i++ {
+		for c := 0; c < t.nExp; c++ {
+			var acc float64
+			for k := 0; k < t.m; k++ {
+				acc += r.At(i, k) * t.u.At(k, c)
+			}
+			dst.Set(i, c, acc)
+		}
+	}
+}
+
+// orthonormalize runs modified Gram-Schmidt (with one re-orthogonalization
+// pass per column) on the columns of the scratch b, writing the result
+// into u. It fails if a column's norm collapses.
+func (t *SubspaceTracker) orthonormalize() error {
+	for c := 0; c < t.nExp; c++ {
+		for i := 0; i < t.m; i++ {
+			t.col[i] = t.b.At(i, c)
+		}
+		for pass := 0; pass < 2; pass++ {
+			for p := 0; p < c; p++ {
+				var proj float64
+				for i := 0; i < t.m; i++ {
+					proj += t.u.At(i, p) * t.col[i]
+				}
+				for i := 0; i < t.m; i++ {
+					t.col[i] -= proj * t.u.At(i, p)
+				}
+			}
+		}
+		norm := linalg.Norm2(t.col)
+		if norm < 1e-12 {
+			return fmt.Errorf("music: subspace rank collapse at column %d", c)
+		}
+		inv := 1 / norm
+		for i := 0; i < t.m; i++ {
+			t.u.Set(i, c, t.col[i]*inv)
+		}
+	}
+	return nil
+}
+
+// computeResidual returns ‖R·U − U·(UᵀR U)‖_F / ‖R‖_F.
+func (t *SubspaceTracker) computeResidual(r *linalg.Matrix) float64 {
+	t.mulInto(t.b, r) // b = R·U
+	// small = Uᵀ·b.
+	for p := 0; p < t.nExp; p++ {
+		for c := 0; c < t.nExp; c++ {
+			var acc float64
+			for i := 0; i < t.m; i++ {
+				acc += t.u.At(i, p) * t.b.At(i, c)
+			}
+			t.small.Set(p, c, acc)
+		}
+	}
+	var res2 float64
+	for i := 0; i < t.m; i++ {
+		for c := 0; c < t.nExp; c++ {
+			v := t.b.At(i, c)
+			for p := 0; p < t.nExp; p++ {
+				v -= t.u.At(i, p) * t.small.At(p, c)
+			}
+			res2 += v * v
+		}
+	}
+	denom := r.FrobeniusNorm()
+	if denom == 0 {
+		return 0
+	}
+	return math.Sqrt(res2) / denom
+}
+
+// RootState carries root-MUSIC's selected noise-polynomial roots across
+// strides so consecutive calls can refine them with a few Newton steps
+// instead of re-rooting the degree-2(M-1) polynomial from scratch. The
+// zero value starts cold; Reset returns it there (gap re-anchoring).
+type RootState struct {
+	roots []complex128
+}
+
+// Reset discards the warm roots.
+func (rs *RootState) Reset() {
+	if rs != nil {
+		rs.roots = rs.roots[:0]
+	}
+}
+
+// RootMUSICFromSubspace runs root-MUSIC directly from an orthonormal
+// signal-subspace basis u (m×2·nSignals, e.g. from SubspaceTracker): the
+// noise projector is P_N = I − U·Uᵀ, whose diagonals-sum coefficients are
+// identical to summing the autocorrelations of all m−2·nSignals noise
+// eigenvectors, so no eigendecomposition is needed. When warm holds the
+// previous stride's roots they are refined by Newton iteration on the
+// noise polynomial (falling back to full Aberth rooting if refinement
+// fails to converge or collides); warm is updated with the roots used.
+func RootMUSICFromSubspace(u *linalg.Matrix, nSignals int, fs float64, warm *RootState) ([]float64, error) {
+	m := u.Rows()
+	nExp := 2 * nSignals
+	if nSignals < 1 {
+		return nil, fmt.Errorf("music: nSignals must be >= 1, got %d", nSignals)
+	}
+	if u.Cols() < nExp {
+		return nil, fmt.Errorf("music: basis has %d columns, need %d", u.Cols(), nExp)
+	}
+	if nExp >= m {
+		return nil, fmt.Errorf("music: window %d too small for %d signals (need > %d)", m, nSignals, nExp)
+	}
+	if fs <= 0 {
+		return nil, fmt.Errorf("music: sample rate must be positive, got %v", fs)
+	}
+
+	// Noise-polynomial coefficients from the projector: c[m-1±k] =
+	// Σ_i P_N[i][i+k] with P_N[i][j] = δ_ij − Σ_p U[i][p]·U[j][p].
+	coeffs := make([]float64, 2*m-1)
+	for k := 0; k < m; k++ {
+		var acc float64
+		for i := 0; i+k < m; i++ {
+			var uu float64
+			for p := 0; p < nExp; p++ {
+				uu += u.At(i, p) * u.At(i+k, p)
+			}
+			if k == 0 {
+				acc += 1 - uu
+			} else {
+				acc -= uu
+			}
+		}
+		coeffs[m-1+k] += acc
+		if k > 0 {
+			coeffs[m-1-k] += acc
+		}
+	}
+
+	selected, err := selectNoiseRoots(coeffs, nExp, warm)
+	if err != nil {
+		return nil, err
+	}
+	return freqsFromRoots(selected, nSignals, fs), nil
+}
+
+// selectNoiseRoots returns the nExp roots of the noise polynomial inside
+// and closest to the unit circle, warm-starting from state when possible.
+func selectNoiseRoots(coeffs []float64, nExp int, warm *RootState) ([]complex128, error) {
+	p := linalg.NewPolyReal(coeffs)
+	if warm != nil && len(warm.roots) == nExp {
+		if refined, ok := refineRoots(p, warm.roots); ok {
+			copy(warm.roots, refined)
+			return refined, nil
+		}
+	}
+	roots, err := p.Roots()
+	if err != nil {
+		return nil, fmt.Errorf("music: noise polynomial roots: %w", err)
+	}
+	selected, err := selectInsideRoots(roots, nExp)
+	if err != nil {
+		return nil, err
+	}
+	if warm != nil {
+		warm.roots = append(warm.roots[:0], selected...)
+	}
+	return selected, nil
+}
+
+// refineRoots polishes each previous root with Newton iteration on p.
+// It reports failure (so the caller re-roots from scratch) if any root
+// fails to converge, leaves the open unit disk, or two refined roots
+// collide — the selected-root set is then no longer trustworthy.
+func refineRoots(p linalg.Poly, prev []complex128) ([]complex128, bool) {
+	const (
+		maxIter = 16
+		tol     = 1e-13
+	)
+	dp := p.Derivative()
+	out := make([]complex128, len(prev))
+	for i, z := range prev {
+		converged := false
+		for it := 0; it < maxIter; it++ {
+			d := dp.Eval(z)
+			if d == 0 {
+				return nil, false
+			}
+			dz := p.Eval(z) / d
+			z -= dz
+			if cmplx.Abs(dz) <= tol*(1+cmplx.Abs(z)) {
+				converged = true
+				break
+			}
+		}
+		if !converged {
+			return nil, false
+		}
+		if r := cmplx.Abs(z); r >= 1 || r < 1e-3 || cmplx.IsNaN(z) {
+			return nil, false
+		}
+		out[i] = z
+	}
+	// Distinct roots must stay distinct: a collision means two warm
+	// starts fell into the same basin.
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if cmplx.Abs(out[i]-out[j]) < 1e-8 {
+				return nil, false
+			}
+		}
+	}
+	return out, true
+}
+
+// selectInsideRoots keeps the roots strictly inside the unit circle (one
+// of each reciprocal pair) and returns the nExp closest to the circle.
+func selectInsideRoots(roots []complex128, nExp int) ([]complex128, error) {
+	inside := make([]complex128, 0, len(roots))
+	for _, z := range roots {
+		if cmplx.Abs(z) < 1 {
+			inside = append(inside, z)
+		}
+	}
+	if len(inside) < nExp {
+		return nil, fmt.Errorf("music: only %d roots inside unit circle, need %d", len(inside), nExp)
+	}
+	sort.Slice(inside, func(i, j int) bool {
+		return 1-cmplx.Abs(inside[i]) < 1-cmplx.Abs(inside[j])
+	})
+	return inside[:nExp], nil
+}
+
+// freqsFromRoots converts selected unit-circle-adjacent roots (or rotation
+// eigenvalues) to nSignals positive frequencies in ascending order:
+// conjugate pairs collapse to the same |f| and are merged by clustering.
+func freqsFromRoots(selected []complex128, nSignals int, fs float64) []float64 {
+	freqs := make([]float64, 0, len(selected))
+	for _, z := range selected {
+		freqs = append(freqs, math.Abs(cmplx.Phase(z))*fs/(2*math.Pi))
+	}
+	sort.Float64s(freqs)
+	out := clusterFrequencies(freqs, nSignals, fs)
+	sort.Float64s(out)
+	return out
+}
+
+// ESPRITFromSubspace runs least-squares ESPRIT directly from an
+// orthonormal signal-subspace basis u (m×2·nSignals): the rotational
+// invariance property only involves the subspace, so a tracked basis is
+// as good as exact eigenvectors.
+func ESPRITFromSubspace(u *linalg.Matrix, nSignals int, fs float64) ([]float64, error) {
+	m := u.Rows()
+	nExp := 2 * nSignals
+	if nSignals < 1 {
+		return nil, fmt.Errorf("music: nSignals must be >= 1, got %d", nSignals)
+	}
+	if u.Cols() < nExp {
+		return nil, fmt.Errorf("music: basis has %d columns, need %d", u.Cols(), nExp)
+	}
+	if nExp >= m {
+		return nil, fmt.Errorf("music: window %d too small for %d signals", m, nSignals)
+	}
+	if fs <= 0 {
+		return nil, fmt.Errorf("music: sample rate must be positive, got %v", fs)
+	}
+	return espritFromBasis(u, nExp, nSignals, fs)
+}
+
+// espritFromBasis solves the shift-invariance least squares for the first
+// nExp columns of basis and converts the rotation eigenvalues to
+// frequencies. Shared by ESPRIT (exact eigenvectors) and
+// ESPRITFromSubspace (tracked basis).
+func espritFromBasis(basis *linalg.Matrix, nExp, nSignals int, fs float64) ([]float64, error) {
+	m := basis.Rows()
+	s1 := linalg.NewMatrix(m-1, nExp)
+	s2 := linalg.NewMatrix(m-1, nExp)
+	for c := 0; c < nExp; c++ {
+		for rr := 0; rr < m-1; rr++ {
+			s1.Set(rr, c, basis.At(rr, c))
+			s2.Set(rr, c, basis.At(rr+1, c))
+		}
+	}
+
+	// Least squares: Φ = (S1ᵀS1)⁻¹ S1ᵀ S2.
+	s1t := s1.Transpose()
+	gram, err := s1t.Mul(s1)
+	if err != nil {
+		return nil, err
+	}
+	rhs, err := s1t.Mul(s2)
+	if err != nil {
+		return nil, err
+	}
+	phi, err := linalg.Solve(gram, rhs)
+	if err != nil {
+		return nil, fmt.Errorf("music: ESPRIT least squares: %w", err)
+	}
+
+	vals, err := linalg.Eigenvalues(phi)
+	if err != nil {
+		return nil, fmt.Errorf("music: rotation eigenvalues: %w", err)
+	}
+	return freqsFromRoots(vals, nSignals, fs), nil
+}

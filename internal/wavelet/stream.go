@@ -1,0 +1,249 @@
+package wavelet
+
+import (
+	"fmt"
+)
+
+// StreamDec is a streaming multi-level DWT analyzer: samples are pushed
+// one at a time and each level emits its interior coefficients as soon as
+// their full input support exists, cascading approximations into the next
+// level. Per level only the filter-length tail of the input stream is
+// retained (the boundary state), so a stride that appends k samples costs
+// O(k·L·levels) instead of re-transforming the whole window — the DWT
+// analogue of the stride engine's margin-only re-smoothing.
+//
+// Indexing is absolute: the first pushed sample has index 0 and level-l
+// coefficient k is the same coefficient a batch Wavedec of the whole
+// stream would place at index k. Boundary coefficients (those whose batch
+// support crosses the signal edge and therefore depends on the extension
+// mode) are never materialized; the first emitted coefficient per level is
+// FirstCoef. Reconstruct synthesizes band-selective signal values over an
+// interior window, matching Decomposition.ReconstructApprox /
+// ReconstructDetails away from the batch edges.
+//
+// Not safe for concurrent use. The zero value is not usable; construct
+// with NewStreamDec.
+type StreamDec struct {
+	w      *Wavelet
+	levels int
+	span   int // max Reconstruct window width
+
+	lev []decLevel
+
+	// scratch[l] holds intermediate approx values for level l during
+	// Reconstruct's recursion.
+	scratch [][]float64
+}
+
+// decLevel is one analysis level's streaming state.
+type decLevel struct {
+	in      []float64 // last len(in) inputs, indexed absolutely mod cap
+	inFirst int       // absolute index of the first input this level sees
+	inNext  int       // next absolute input index expected
+	firstK  int       // absolute index of the first interior coefficient
+	nextK   int       // next coefficient to emit
+	approx  []float64 // coefficient rings, indexed absolutely mod cap
+	detail  []float64
+}
+
+// NewStreamDec builds a streaming analyzer for `levels` decomposition
+// levels of wavelet w. maxSpan bounds the width of any Reconstruct window
+// and sizes the retained coefficient history.
+func NewStreamDec(w *Wavelet, levels, maxSpan int) (*StreamDec, error) {
+	if levels < 1 {
+		return nil, fmt.Errorf("%w: %d", ErrBadLevel, levels)
+	}
+	if w.Len() < 2 {
+		return nil, fmt.Errorf("wavelet: filter too short for streaming")
+	}
+	if maxSpan < 1 {
+		return nil, fmt.Errorf("wavelet: reconstruction span must be >= 1, got %d", maxSpan)
+	}
+	lf := w.Len()
+	sd := &StreamDec{
+		w:       w,
+		levels:  levels,
+		span:    maxSpan,
+		lev:     make([]decLevel, levels),
+		scratch: make([][]float64, levels+1),
+	}
+	// The synthesis chain lags the push frontier by about lf per level
+	// doubling (lag_L ≈ lf·2^L), so each coefficient ring must retain the
+	// reconstruction span plus that lag, both halved per level.
+	lag := lf << uint(levels)
+	inFirst := 0
+	for l := 0; l < levels; l++ {
+		cap := (maxSpan+2*lag)>>uint(l+1) + 4*lf + 16
+		sd.lev[l] = decLevel{
+			in:      make([]float64, lf),
+			inFirst: inFirst,
+			inNext:  inFirst,
+			firstK:  (inFirst + lf - 1) / 2,
+			approx:  make([]float64, cap),
+			detail:  make([]float64, cap),
+		}
+		sd.lev[l].nextK = sd.lev[l].firstK
+		inFirst = sd.lev[l].firstK
+	}
+	for l := 1; l <= levels; l++ {
+		sd.scratch[l] = make([]float64, maxSpan>>uint(l)+2*lf+8)
+	}
+	return sd, nil
+}
+
+// Levels returns the number of analysis levels.
+func (sd *StreamDec) Levels() int { return sd.levels }
+
+// Pushed returns the number of samples consumed so far.
+func (sd *StreamDec) Pushed() int { return sd.lev[0].inNext }
+
+// FirstCoef returns the absolute index of the first interior coefficient
+// at 1-based level l.
+func (sd *StreamDec) FirstCoef(l int) int { return sd.lev[l-1].firstK }
+
+// CoefCount returns the exclusive upper coefficient index at 1-based
+// level l.
+func (sd *StreamDec) CoefCount(l int) int { return sd.lev[l-1].nextK }
+
+// Reset re-anchors the analyzer on a fresh stream without reallocating.
+func (sd *StreamDec) Reset() {
+	for l := range sd.lev {
+		lev := &sd.lev[l]
+		lev.inNext = lev.inFirst
+		lev.nextK = lev.firstK
+	}
+}
+
+// Push appends the next sample and cascades any newly complete
+// coefficients through the levels.
+func (sd *StreamDec) Push(v float64) {
+	sd.pushLevel(0, v)
+}
+
+// pushLevel feeds one input into level l (0-based), emitting a coefficient
+// pair when the input support of the next one is complete.
+func (sd *StreamDec) pushLevel(l int, v float64) {
+	lf := sd.w.Len()
+	lev := &sd.lev[l]
+	t := lev.inNext
+	lev.in[t%lf] = v
+	lev.inNext++
+	if t%2 != 1 {
+		return
+	}
+	// Batch coefficient k consumes inputs [2k+2-lf, 2k+1]; it completes
+	// when t = 2k+1 arrives and is interior once its support does not
+	// cross this level's first input.
+	k := (t - 1) / 2
+	if k < lev.firstK {
+		return
+	}
+	var sa, sdet float64
+	for j := 0; j < lf; j++ {
+		x := lev.in[(t-j)%lf]
+		sa += x * sd.w.DecLo[j]
+		sdet += x * sd.w.DecHi[j]
+	}
+	c := len(lev.approx)
+	lev.approx[k%c] = sa
+	lev.detail[k%c] = sdet
+	lev.nextK = k + 1
+	if l+1 < sd.levels {
+		sd.pushLevel(l+1, sa)
+	}
+}
+
+// ReconRange returns the absolute signal-index interval [lo, hi) currently
+// reconstructible: hi is limited by the deepest level's coefficient
+// frontier folding back up through the synthesis chain, lo by the interior
+// boundary and coefficient-ring retention.
+func (sd *StreamDec) ReconRange() (lo, hi int) {
+	lf := sd.w.Len()
+	deep := &sd.lev[sd.levels-1]
+	hi = deep.nextK
+	lo = deep.firstK
+	if retain := deep.nextK - len(deep.approx); retain > lo {
+		lo = retain
+	}
+	for l := sd.levels - 1; l >= 0; l-- {
+		lev := &sd.lev[l]
+		// Values at index i of this level's input stream need child
+		// coefficients k ≤ (i+lf-2)/2 and k ≥ floor(i/2).
+		hiK := hi
+		if lev.nextK < hiK {
+			hiK = lev.nextK
+		}
+		loK := lo
+		if lev.firstK > loK {
+			loK = lev.firstK
+		}
+		if retain := lev.nextK - len(lev.approx); retain > loK {
+			loK = retain
+		}
+		hi = 2*hiK + 2 - lf
+		lo = 2 * loK
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+// Reconstruct synthesizes the band-selective signal over absolute indices
+// [i0, i1) into dst (len i1-i0): keepApprox keeps the level-L
+// approximation band and keepDetails (1-based level l at index l-1, nil
+// keeps none) selects detail bands, mirroring Decomposition.reconstruct.
+// The window must lie within ReconRange and be at most maxSpan wide.
+func (sd *StreamDec) Reconstruct(keepApprox bool, keepDetails []bool, i0, i1 int, dst []float64) error {
+	if i1 < i0 || i1-i0 > sd.span {
+		return fmt.Errorf("wavelet: reconstruction window [%d, %d) invalid or wider than %d", i0, i1, sd.span)
+	}
+	if len(dst) < i1-i0 {
+		return fmt.Errorf("wavelet: dst holds %d values, need %d", len(dst), i1-i0)
+	}
+	lo, hi := sd.ReconRange()
+	if i0 < lo || i1 > hi {
+		return fmt.Errorf("wavelet: window [%d, %d) outside reconstructible range [%d, %d)", i0, i1, lo, hi)
+	}
+	sd.synth(0, i0, i1, keepApprox, keepDetails, dst[:i1-i0])
+	return nil
+}
+
+// synth computes the kept-band contribution to the level-l input stream
+// (level 0 = the signal) over absolute indices [i0, i1).
+func (sd *StreamDec) synth(l, i0, i1 int, keepApprox bool, keepDetails []bool, dst []float64) {
+	lf := sd.w.Len()
+	lev := &sd.lev[l]
+	c0 := i0 / 2
+	c1 := (i1-1+lf-2)/2 + 1
+
+	approx := sd.scratch[l+1][:c1-c0]
+	if l+1 == sd.levels {
+		ringCap := len(lev.approx)
+		for k := c0; k < c1; k++ {
+			if keepApprox {
+				approx[k-c0] = lev.approx[k%ringCap]
+			} else {
+				approx[k-c0] = 0
+			}
+		}
+	} else {
+		sd.synth(l+1, c0, c1, keepApprox, keepDetails, approx)
+	}
+
+	keepDet := keepDetails != nil && l < len(keepDetails) && keepDetails[l]
+	ringCap := len(lev.detail)
+	for i := i0; i < i1; i++ {
+		kLo := i / 2
+		kHi := (i + lf - 2) / 2
+		var acc float64
+		for k := kLo; k <= kHi; k++ {
+			j := i + lf - 2 - 2*k
+			acc += approx[k-c0] * sd.w.RecLo[j]
+			if keepDet {
+				acc += lev.detail[k%ringCap] * sd.w.RecHi[j]
+			}
+		}
+		dst[i-i0] = acc
+	}
+}

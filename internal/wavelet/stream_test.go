@@ -1,0 +1,269 @@
+package wavelet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// streamSignal builds a breathing-like test signal with noise.
+func streamSignal(rng *rand.Rand, n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		ti := float64(i) / 20
+		x[i] = math.Sin(2*math.Pi*0.3*ti) + 0.4*math.Sin(2*math.Pi*1.7*ti+1) + 0.05*rng.NormFloat64()
+	}
+	return x
+}
+
+func TestStreamDecMatchesBatchCoefficients(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	w, err := Daubechies(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		n      = 1600
+		levels = 4
+	)
+	x := streamSignal(rng, n)
+	batch, err := Wavedec(x, w, ModeSymmetric, levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sd, err := NewStreamDec(w, levels, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range x {
+		sd.Push(v)
+	}
+	if sd.Pushed() != n {
+		t.Fatalf("pushed %d, want %d", sd.Pushed(), n)
+	}
+
+	lf := w.Len()
+	// Streaming emits interior coefficients on the batch grid; compare a
+	// margin away from both batch edges where extension effects cannot
+	// reach even after cascading.
+	cur := batch.Lengths // input length per level
+	for lev := 1; lev <= levels; lev++ {
+		var coefs []float64
+		if lev == levels {
+			coefs = batch.Approx
+		} else {
+			// Recompute the batch approx at this level for comparison.
+			c := x
+			for i := 0; i < lev; i++ {
+				c, _ = DWT(c, w, ModeSymmetric)
+			}
+			coefs = c
+		}
+		det := batch.Details[lev-1]
+		first := sd.FirstCoef(lev)
+		count := sd.CoefCount(lev)
+		if count <= first {
+			t.Fatalf("level %d emitted no coefficients", lev)
+		}
+		levState := &sd.lev[lev-1]
+		ringCap := len(levState.approx)
+		// Edge margin grows with level (lf per cascaded level is ample)
+		// and reads must stay within the ring's retention window.
+		margin := first + lf
+		if retain := count - ringCap; retain > margin {
+			margin = retain
+		}
+		hi := count - lf
+		if hi > len(det) {
+			hi = len(det)
+		}
+		checked := 0
+		for k := margin; k < hi; k++ {
+			ga := levState.approx[k%ringCap]
+			gd := levState.detail[k%ringCap]
+			if d := math.Abs(ga - coefs[k]); d > 1e-10 {
+				t.Fatalf("level %d approx[%d]: streaming %g vs batch %g", lev, k, ga, coefs[k])
+			}
+			if d := math.Abs(gd - det[k]); d > 1e-10 {
+				t.Fatalf("level %d detail[%d]: streaming %g vs batch %g", lev, k, gd, det[k])
+			}
+			checked++
+		}
+		if checked < 10 {
+			t.Fatalf("level %d compared only %d interior coefficients", lev, checked)
+		}
+	}
+	_ = cur
+}
+
+func TestStreamDecReconstructMatchesBatchBands(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	w, err := Daubechies(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		n      = 2000
+		levels = 4
+		span   = 600
+	)
+	x := streamSignal(rng, n)
+	batch, err := Wavedec(x, w, ModeSymmetric, levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	breathingBatch, err := batch.ReconstructApprox()
+	if err != nil {
+		t.Fatal(err)
+	}
+	heartBatch, err := batch.ReconstructDetails(levels-1, levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sd, err := NewStreamDec(w, levels, span)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range x {
+		sd.Push(v)
+	}
+	lo, hi := sd.ReconRange()
+	if hi-lo < span {
+		t.Fatalf("reconstructible range [%d, %d) narrower than span %d", lo, hi, span)
+	}
+	// Compare away from the batch edges, where batch extension effects
+	// from either end cannot reach.
+	edge := w.Len() << uint(levels+1)
+	i0, i1 := lo, hi
+	if i0 < edge {
+		i0 = edge
+	}
+	if i1 > n-edge {
+		i1 = n - edge
+	}
+	if i1-i0 > span {
+		i0 = i1 - span
+	}
+	if i1 <= i0 {
+		t.Fatalf("no interior overlap to compare: [%d, %d)", i0, i1)
+	}
+
+	dst := make([]float64, i1-i0)
+	keep := make([]bool, levels)
+	if err := sd.Reconstruct(true, keep, i0, i1, dst); err != nil {
+		t.Fatal(err)
+	}
+	for i := range dst {
+		if d := math.Abs(dst[i] - breathingBatch[i0+i]); d > 1e-9 {
+			t.Fatalf("breathing[%d]: streaming %g vs batch %g (diff %g)", i0+i, dst[i], breathingBatch[i0+i], d)
+		}
+	}
+
+	keep[levels-2], keep[levels-1] = true, true
+	if err := sd.Reconstruct(false, keep, i0, i1, dst); err != nil {
+		t.Fatal(err)
+	}
+	for i := range dst {
+		if d := math.Abs(dst[i] - heartBatch[i0+i]); d > 1e-9 {
+			t.Fatalf("heart[%d]: streaming %g vs batch %g (diff %g)", i0+i, dst[i], heartBatch[i0+i], d)
+		}
+	}
+}
+
+func TestStreamDecIncrementalAdvance(t *testing.T) {
+	// Reconstructed values must be stride-invariant: reconstructing an
+	// index early and again after more pushes gives the same value.
+	rng := rand.New(rand.NewSource(8))
+	w, err := Daubechies(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const levels = 4
+	x := streamSignal(rng, 3000)
+	sd, err := NewStreamDec(w, levels, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := make([]bool, levels)
+	first := make(map[int]float64)
+	read := func() {
+		lo, hi := sd.ReconRange()
+		if hi-lo > 400 {
+			lo = hi - 400
+		}
+		if hi <= lo {
+			return
+		}
+		dst := make([]float64, hi-lo)
+		if err := sd.Reconstruct(true, keep, lo, hi, dst); err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range dst {
+			idx := lo + i
+			if prev, ok := first[idx]; ok {
+				if v != prev {
+					t.Fatalf("index %d changed between strides: %g then %g", idx, prev, v)
+				}
+			} else {
+				first[idx] = v
+			}
+		}
+	}
+	for i, v := range x {
+		sd.Push(v)
+		if i%137 == 0 {
+			read()
+		}
+	}
+	read()
+	if len(first) < 1000 {
+		t.Fatalf("only %d indices exercised", len(first))
+	}
+}
+
+func TestStreamDecResetAndErrors(t *testing.T) {
+	w, err := Daubechies(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewStreamDec(w, 0, 100); err == nil {
+		t.Fatal("expected error for zero levels")
+	}
+	if _, err := NewStreamDec(w, 2, 0); err == nil {
+		t.Fatal("expected error for zero span")
+	}
+	sd, err := NewStreamDec(w, 3, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	x := streamSignal(rng, 1000)
+	for _, v := range x {
+		sd.Push(v)
+	}
+	lo, hi := sd.ReconRange()
+	if hi <= lo {
+		t.Fatal("no reconstructible range after 1000 samples")
+	}
+	dst := make([]float64, 10)
+	if err := sd.Reconstruct(true, nil, hi, hi+10, dst); err == nil {
+		t.Fatal("expected range error past the frontier")
+	}
+	if err := sd.Reconstruct(true, nil, lo, lo+300, make([]float64, 300)); err == nil {
+		t.Fatal("expected span error for window wider than max")
+	}
+
+	sd.Reset()
+	if l, h := sd.ReconRange(); h > l {
+		t.Fatalf("range [%d, %d) non-empty after reset", l, h)
+	}
+	for _, v := range x {
+		sd.Push(v)
+	}
+	lo2, hi2 := sd.ReconRange()
+	if lo2 != lo || hi2 != hi {
+		t.Fatalf("range after reset [%d, %d) differs from first pass [%d, %d)", lo2, hi2, lo, hi)
+	}
+}
