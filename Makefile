@@ -48,7 +48,13 @@ cover:
 # panic or reject their own fixtures without paying measurement time.
 .PHONY: bench-smoke
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkPipelineProcess$$|BenchmarkMonitorStride$$|BenchmarkQuarantinePush$$|BenchmarkDWTDenoise$$|BenchmarkRootMUSIC$$|BenchmarkEstimateStage$$|BenchmarkStreamingCorrelationAppend$$' -benchtime 1x ./internal/core ./internal/music
+	$(GO) test -run '^$$' -bench 'BenchmarkPipelineProcess$$|BenchmarkMonitorStride$$|BenchmarkQuarantinePush$$|BenchmarkDWTDenoise$$|BenchmarkRootMUSIC$$|BenchmarkEstimateStage$$|BenchmarkStreamingCorrelationAppend$$|BenchmarkColumnarIngest$$' -benchtime 1x ./internal/core ./internal/music ./internal/arena
+
+# The columnar memory-layout benchmarks on their own, with allocation
+# stats — the report CI uploads as the columnar-bench artifact.
+.PHONY: bench-columnar
+bench-columnar:
+	$(GO) run ./cmd/benchreport -bench 'BenchmarkColumnarIngest$$|BenchmarkMonitorStride$$|BenchmarkPipelineProcess$$' -packages './internal/arena ./internal/core' -benchtime 300ms -count 3 -out BENCH_columnar.json
 
 # Full benchmark run (slow): every package's benchmarks at default time.
 .PHONY: bench

@@ -24,6 +24,7 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"regexp"
 	"runtime"
 	"strings"
 	"time"
@@ -49,14 +50,24 @@ func main() {
 }
 
 // defaultBench selects the tracked benchmarks: the two pipeline
-// throughput benchmarks plus the per-packet quarantine, DWT and
-// root-MUSIC hot paths.
-const defaultBench = "BenchmarkPipelineProcess$|BenchmarkMonitorStride$|BenchmarkQuarantinePush$|BenchmarkDWTDenoise$|BenchmarkRootMUSIC$|BenchmarkEstimateStage$|BenchmarkStreamingCorrelationAppend$"
+// throughput benchmarks, the per-packet quarantine, DWT and root-MUSIC
+// hot paths, and the columnar-ingest microbenchmarks.
+const defaultBench = "BenchmarkPipelineProcess$|BenchmarkMonitorStride$|BenchmarkQuarantinePush$|BenchmarkDWTDenoise$|BenchmarkRootMUSIC$|BenchmarkEstimateStage$|BenchmarkStreamingCorrelationAppend$|BenchmarkColumnarIngest$"
+
+// defaultStrictAllocs selects the zero-alloc hot paths whose allocs/op
+// is gated with zero tolerance against the baseline: warm columnar
+// ingest and the per-packet push must never start allocating again, and
+// the fractional tolerance cannot express that (30% of zero is zero,
+// but the gate must fail on 0 → 1). Benchmarks with small nonzero alloc
+// counts (the stride/pipeline runs) stay on the fractional gate — GC
+// timing refills their pools by a few allocs run to run, which strict
+// gating would misread as regressions.
+const defaultStrictAllocs = "BenchmarkColumnarIngest|BenchmarkQuarantinePush$|BenchmarkStreamingCorrelationAppend$"
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
 	bench := fs.String("bench", defaultBench, "benchmark regex passed to go test -bench")
-	packages := fs.String("packages", "./internal/core ./internal/music", "space-separated packages to benchmark")
+	packages := fs.String("packages", "./internal/core ./internal/music ./internal/arena", "space-separated packages to benchmark")
 	benchtime := fs.String("benchtime", "200ms", "per-benchmark measurement time (go test -benchtime)")
 	count := fs.Int("count", 1, "benchmark repetitions; the fastest run per benchmark is kept")
 	cpu := fs.String("cpu", "1", "go test -cpu list; pinned to 1 so benchmark names and serial latency are machine-stable (empty = go default)")
@@ -65,6 +76,7 @@ func run(args []string, stdout io.Writer) error {
 	compare := fs.String("compare", "", "baseline report to compare against; exit 1 on regression")
 	tolNs := fs.Float64("tolerance", 0.20, "allowed fractional ns/op increase before failing")
 	tolMem := fs.Float64("mem-tolerance", 0.30, "allowed fractional B/op and allocs/op increase before failing")
+	strictAllocs := fs.String("strict-allocs", defaultStrictAllocs, "benchmark-name regex gated at zero allocs/op tolerance (empty disables)")
 	update := fs.Bool("update", false, "with -compare: rewrite the baseline with the fresh report instead of failing")
 	goBin := fs.String("go", "go", "go tool to run benchmarks with")
 	if err := fs.Parse(args); err != nil {
@@ -129,9 +141,14 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("baseline %s: %w", *compare, err)
 	}
-	cmp := benchfmt.Compare(base, rep, benchfmt.Tolerance{
-		NsPerOp: *tolNs, BytesPerOp: *tolMem, AllocsPerOp: *tolMem,
-	})
+	tol := benchfmt.Tolerance{NsPerOp: *tolNs, BytesPerOp: *tolMem, AllocsPerOp: *tolMem}
+	if *strictAllocs != "" {
+		tol.StrictAllocs, err = regexp.Compile(*strictAllocs)
+		if err != nil {
+			return fmt.Errorf("-strict-allocs: %w", err)
+		}
+	}
+	cmp := benchfmt.Compare(base, rep, tol)
 	printComparison(stdout, cmp)
 	if *update {
 		if err := writeReport(*compare, rep); err != nil {

@@ -1,0 +1,211 @@
+// Package arena provides the columnar CSI memory layout shared by the
+// batch pipeline and the streaming Monitor: a size-classed slab allocator
+// (Arena), dense subcarrier-major matrices whose rows live in one flat
+// backing slab (Matrix), and power-of-two columnar ring buffers with
+// absolute sample indexing and zero-copy window views (Ring, View).
+//
+// The motivating access pattern is PhaseBeat's: packets arrive as
+// row-oriented per-packet [antenna][subcarrier] matrices, but every DSP
+// stage consumes one (antenna-pair, subcarrier) channel's *time series* at
+// a time. Storing each channel contiguously ("subcarrier-major") turns the
+// per-stage strided walks over packet rows into sequential scans, and the
+// one unavoidable transpose is paid exactly once, at ingest.
+//
+// An Arena is safe for concurrent use, so one allocator can back many
+// Monitor sessions (the fleet-daemon hook: pass the same *Arena to every
+// MonitorConfig). Rings, matrices and views are single-writer by design —
+// they are owned by one pipeline or one Monitor worker goroutine.
+package arena
+
+import (
+	"fmt"
+	"sync"
+)
+
+// maxPooledClass caps the slab size the free lists retain: classes above
+// 1<<26 elements (512 MiB of float64) are returned to the GC instead of
+// pooled, so one giant transient request cannot pin memory forever.
+const maxPooledClass = 26
+
+// Arena is a size-classed free-list allocator for float64 and complex128
+// slabs. Alloc rounds the request up to the next power of two and reuses a
+// released slab of that class when one is available; Release returns a
+// slab for reuse. All methods are safe for concurrent use, and all are
+// nil-tolerant: a nil *Arena degrades to plain make with no pooling, so
+// code paths can run arena-less (tests, one-shot tools) without guards.
+type Arena struct {
+	mu        sync.Mutex
+	floats    map[uint][][]float64
+	complexes map[uint][][]complex128
+
+	allocs, reuses uint64
+}
+
+// New returns an empty arena.
+func New() *Arena {
+	return &Arena{
+		floats:    make(map[uint][][]float64),
+		complexes: make(map[uint][][]complex128),
+	}
+}
+
+// sizeClass returns the power-of-two class exponent covering n (n > 0).
+func sizeClass(n int) uint {
+	c := uint(0)
+	for 1<<c < n {
+		c++
+	}
+	return c
+}
+
+// Floats returns a zeroed slab of exactly n float64s (capacity rounded up
+// to the size class), reusing a released slab when possible.
+func (a *Arena) Floats(n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	if a == nil {
+		return make([]float64, n)
+	}
+	c := sizeClass(n)
+	a.mu.Lock()
+	free := a.floats[c]
+	if k := len(free); k > 0 {
+		s := free[k-1]
+		a.floats[c] = free[:k-1]
+		a.reuses++
+		a.mu.Unlock()
+		s = s[:n]
+		clear(s)
+		return s
+	}
+	a.allocs++
+	a.mu.Unlock()
+	return make([]float64, n, 1<<c)
+}
+
+// Complexes is Floats for complex128 slabs.
+func (a *Arena) Complexes(n int) []complex128 {
+	if n <= 0 {
+		return nil
+	}
+	if a == nil {
+		return make([]complex128, n)
+	}
+	c := sizeClass(n)
+	a.mu.Lock()
+	free := a.complexes[c]
+	if k := len(free); k > 0 {
+		s := free[k-1]
+		a.complexes[c] = free[:k-1]
+		a.reuses++
+		a.mu.Unlock()
+		s = s[:n]
+		clear(s)
+		return s
+	}
+	a.allocs++
+	a.mu.Unlock()
+	return make([]complex128, n, 1<<c)
+}
+
+// ReleaseFloats returns a slab obtained from Floats to the free list. The
+// caller must not touch the slab (or any view into it) afterwards.
+// Slabs whose capacity is not a power of two (foreign memory) and slabs
+// above the pooling cap are dropped for the GC instead.
+func (a *Arena) ReleaseFloats(s []float64) {
+	if a == nil || cap(s) == 0 {
+		return
+	}
+	c := sizeClass(cap(s))
+	if 1<<c != cap(s) || c > maxPooledClass {
+		return
+	}
+	a.mu.Lock()
+	a.floats[c] = append(a.floats[c], s[:0])
+	a.mu.Unlock()
+}
+
+// ReleaseComplexes is ReleaseFloats for complex128 slabs.
+func (a *Arena) ReleaseComplexes(s []complex128) {
+	if a == nil || cap(s) == 0 {
+		return
+	}
+	c := sizeClass(cap(s))
+	if 1<<c != cap(s) || c > maxPooledClass {
+		return
+	}
+	a.mu.Lock()
+	a.complexes[c] = append(a.complexes[c], s[:0])
+	a.mu.Unlock()
+}
+
+// Stats reports cumulative allocator traffic: fresh slab allocations and
+// free-list reuses. A fleet of sessions sharing one arena should see
+// Reuses dominate Allocs once session churn reaches steady state.
+type Stats struct {
+	Allocs uint64
+	Reuses uint64
+}
+
+// Stats returns a snapshot of the allocator counters.
+func (a *Arena) Stats() Stats {
+	if a == nil {
+		return Stats{}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return Stats{Allocs: a.allocs, Reuses: a.reuses}
+}
+
+// Matrix is a dense channel-major matrix: row r (one subcarrier's or one
+// channel's time series) is the contiguous slice Data[r*cols : (r+1)*cols]
+// of a single flat backing slab, so iterating one row is a sequential
+// memory scan and the whole matrix is one allocation (plus row headers).
+type Matrix struct {
+	rows, cols int
+	data       []float64
+	view       [][]float64
+}
+
+// NewMatrix allocates a rows × cols matrix from the arena (nil a = plain
+// make). Rows are capped at their extent so an append can never bleed into
+// the next row's storage.
+func NewMatrix(a *Arena, rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("arena: matrix shape %d x %d", rows, cols))
+	}
+	m := &Matrix{
+		rows: rows,
+		cols: cols,
+		data: a.Floats(rows * cols),
+		view: make([][]float64, rows),
+	}
+	for r := 0; r < rows; r++ {
+		m.view[r] = m.data[r*cols : (r+1)*cols : (r+1)*cols]
+	}
+	return m
+}
+
+// Dims returns the matrix shape.
+func (m *Matrix) Dims() (rows, cols int) { return m.rows, m.cols }
+
+// Row returns row r's contiguous column view.
+func (m *Matrix) Row(r int) []float64 { return m.view[r] }
+
+// Rows returns the [][]float64 header over the shared slab — the shape the
+// pipeline stages consume. The headers are allocated once; callers may
+// re-slice individual rows (they stay inside the slab thanks to the
+// three-index caps) but must not grow them.
+func (m *Matrix) Rows() [][]float64 { return m.view }
+
+// Release returns the backing slab to the arena. The matrix (and every
+// row view handed out) is dead afterwards.
+func (m *Matrix) Release(a *Arena) {
+	if m == nil {
+		return
+	}
+	a.ReleaseFloats(m.data)
+	m.data = nil
+	m.view = nil
+}

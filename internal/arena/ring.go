@@ -1,0 +1,205 @@
+package arena
+
+import "fmt"
+
+// Ring is a columnar ring buffer over planes × channels independent
+// series sharing one flat slab. A "channel" is one (antenna-pair,
+// subcarrier) stream; a "plane" is one derived quantity of that stream
+// (e.g. phase difference, sin, cos, amplitude), so a single Advance
+// admits one time sample across every plane and channel at once.
+//
+// Layout: element (plane p, channel c, slot s) lives at
+//
+//	data[((p*channels)+c)*capacity + s]
+//
+// so one channel's history is contiguous — the property every DSP stage
+// wants — and slot s for absolute sample index i is i & (capacity-1)
+// (capacity is a power of two).
+//
+// Indexing is absolute: Head is the count of samples ever admitted, and
+// sample i remains addressable while Head-capacity <= i < Head. Views
+// validate against that retention window, so wraparound can never be
+// observed as aliased data — only as an explicit out-of-retention error.
+//
+// A Ring is single-writer: one goroutine calls Advance and writes the
+// current slot; concurrent readers are only safe on slots strictly
+// before Head (the engine's stride reads satisfy this by construction).
+type Ring[T any] struct {
+	planes, channels int
+	capacity         int
+	mask             int64
+	head             int64
+	data             []T
+	// cols caches one contiguous column header per (plane, channel) so
+	// the hot ingest path indexes straight into its column slice.
+	cols [][]T
+}
+
+// newRing builds the shared geometry; data must be planes*channels*capacity
+// long and is sliced into cached per-column headers.
+func newRing[T any](planes, channels, capacity int, data []T) *Ring[T] {
+	if planes <= 0 || channels <= 0 {
+		panic(fmt.Sprintf("arena: ring geometry %d planes x %d channels", planes, channels))
+	}
+	if capacity <= 0 || capacity&(capacity-1) != 0 {
+		panic(fmt.Sprintf("arena: ring capacity %d is not a power of two", capacity))
+	}
+	r := &Ring[T]{
+		planes:   planes,
+		channels: channels,
+		capacity: capacity,
+		mask:     int64(capacity - 1),
+		data:     data,
+		cols:     make([][]T, planes*channels),
+	}
+	for i := range r.cols {
+		lo := i * capacity
+		r.cols[i] = data[lo : lo+capacity : lo+capacity]
+	}
+	return r
+}
+
+// RingCapacity rounds n up to the power of two a ring holding n samples
+// needs.
+func RingCapacity(n int) int {
+	c := 1
+	for c < n {
+		c <<= 1
+	}
+	return c
+}
+
+// NewFloatRing allocates a float64 ring from the arena (nil a = plain
+// make). capacity is rounded up to a power of two.
+func NewFloatRing(a *Arena, planes, channels, capacity int) *Ring[float64] {
+	capacity = RingCapacity(capacity)
+	return newRing(planes, channels, capacity, a.Floats(planes*channels*capacity))
+}
+
+// NewComplexRing allocates a complex128 ring from the arena.
+func NewComplexRing(a *Arena, planes, channels, capacity int) *Ring[complex128] {
+	capacity = RingCapacity(capacity)
+	return newRing(planes, channels, capacity, a.Complexes(planes*channels*capacity))
+}
+
+// Capacity returns the (power-of-two) per-channel sample capacity.
+func (r *Ring[T]) Capacity() int { return r.capacity }
+
+// Channels returns the channel count per plane.
+func (r *Ring[T]) Channels() int { return r.channels }
+
+// Planes returns the plane count.
+func (r *Ring[T]) Planes() int { return r.planes }
+
+// Head returns the absolute index one past the newest admitted sample —
+// equivalently the count of samples ever admitted since the last Reset.
+func (r *Ring[T]) Head() int64 { return r.head }
+
+// Slot returns the in-column slot the *next* sample (index Head) will
+// occupy. Writers fill col[Slot()] across planes, then call Advance.
+func (r *Ring[T]) Slot() int { return int(r.head & r.mask) }
+
+// SlotOf returns the in-column slot of absolute sample index i. The
+// caller is responsible for i being within retention.
+func (r *Ring[T]) SlotOf(i int64) int { return int(i & r.mask) }
+
+// Advance commits the sample written at Slot across all planes/channels.
+func (r *Ring[T]) Advance() { r.head++ }
+
+// Reset forgets all samples; absolute indexing restarts at zero.
+func (r *Ring[T]) Reset() { r.head = 0 }
+
+// Column returns the full backing column for (plane p, channel c) —
+// capacity elements in slot order, not time order. It is the write
+// surface for ingest; readers should use View for time-ordered access.
+func (r *Ring[T]) Column(p, c int) []T { return r.cols[p*r.channels+c] }
+
+// Columns returns plane p's per-channel column headers (a subslice of the
+// cached headers — no allocation), so hot ingest loops can hold one
+// [][]T per plane and index it by channel.
+func (r *Ring[T]) Columns(p int) [][]T {
+	return r.cols[p*r.channels : (p+1)*r.channels]
+}
+
+// Release returns the backing slab to the arena. The ring and every
+// column/view into it are dead afterwards.
+func (r *Ring[T]) Release(a *Arena) {
+	if r == nil || r.data == nil {
+		return
+	}
+	switch d := any(r.data).(type) {
+	case []float64:
+		a.ReleaseFloats(d)
+	case []complex128:
+		a.ReleaseComplexes(d)
+	}
+	r.data = nil
+	r.cols = nil
+}
+
+// View is a zero-copy, time-ordered window over one ring column: at most
+// two contiguous slices (the window may straddle the wrap point), oldest
+// samples first. Iterating a, then b visits the window in admission
+// order, which is exactly the summation order the batch DSP uses — the
+// reason columnar strides stay bit-identical to the row-oriented code.
+type View[T any] struct {
+	a, b  []T
+	start int64
+}
+
+// View returns a window of n samples of (plane p, channel c) starting at
+// absolute sample index start. The window must lie entirely within
+// retention: start >= Head-Capacity and start+n <= Head.
+func (r *Ring[T]) View(p, c int, start int64, n int) (View[T], error) {
+	if n < 0 || int64(n) > int64(r.capacity) {
+		return View[T]{}, fmt.Errorf("arena: view length %d exceeds ring capacity %d", n, r.capacity)
+	}
+	if start < 0 || start < r.head-int64(r.capacity) || start+int64(n) > r.head {
+		return View[T]{}, fmt.Errorf("arena: view [%d,%d) outside retention [%d,%d)",
+			start, start+int64(n), max64(0, r.head-int64(r.capacity)), r.head)
+	}
+	col := r.cols[p*r.channels+c]
+	lo := int(start & r.mask)
+	if lo+n <= r.capacity {
+		return View[T]{a: col[lo : lo+n : lo+n], start: start}, nil
+	}
+	k := r.capacity - lo
+	return View[T]{
+		a:     col[lo:r.capacity:r.capacity],
+		b:     col[0 : n-k : n-k],
+		start: start,
+	}, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Len returns the window length.
+func (v View[T]) Len() int { return len(v.a) + len(v.b) }
+
+// Start returns the absolute sample index of the window's oldest sample.
+func (v View[T]) Start() int64 { return v.start }
+
+// At returns the i-th sample of the window (0 = oldest).
+func (v View[T]) At(i int) T {
+	if i < len(v.a) {
+		return v.a[i]
+	}
+	return v.b[i-len(v.a)]
+}
+
+// Slices returns the window's backing segments, oldest first. b is nil
+// when the window does not straddle the wrap point.
+func (v View[T]) Slices() (a, b []T) { return v.a, v.b }
+
+// CopyTo linearizes the window into dst (which must hold Len elements)
+// and returns the number of samples copied.
+func (v View[T]) CopyTo(dst []T) int {
+	n := copy(dst, v.a)
+	n += copy(dst[n:], v.b)
+	return n
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -184,6 +185,13 @@ type Tolerance struct {
 	NsPerOp     float64
 	BytesPerOp  float64
 	AllocsPerOp float64
+	// StrictAllocs, when non-nil, selects benchmarks whose allocs/op is
+	// gated with zero tolerance: any increase over the baseline fails,
+	// including any allocation at all over a zero baseline. It pins the
+	// zero-copy contract of the columnar ingest/stride hot paths, which
+	// the fractional AllocsPerOp tolerance cannot (30% of zero is zero,
+	// but 30% of a small count would let copies creep back in).
+	StrictAllocs *regexp.Regexp
 }
 
 // DefaultTolerance gates ns/op at 20% — the regression size the CI gate
@@ -258,7 +266,11 @@ func Compare(base, cur *Report, tol Tolerance) *Comparison {
 		}
 		c.compareMetric(bb.Name, "ns/op", bb.NsPerOp, nb.NsPerOp, tol.NsPerOp)
 		c.compareMetric(bb.Name, "B/op", bb.BytesPerOp, nb.BytesPerOp, tol.BytesPerOp)
-		c.compareMetric(bb.Name, "allocs/op", bb.AllocsPerOp, nb.AllocsPerOp, tol.AllocsPerOp)
+		allocTol := tol.AllocsPerOp
+		if tol.StrictAllocs != nil && tol.StrictAllocs.MatchString(bb.Name) {
+			allocTol = 0
+		}
+		c.compareMetric(bb.Name, "allocs/op", bb.AllocsPerOp, nb.AllocsPerOp, allocTol)
 	}
 	for _, nb := range cur.Benchmarks {
 		if !baseNames[nb.Name] {

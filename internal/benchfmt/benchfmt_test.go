@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"reflect"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -211,5 +212,47 @@ func TestRegressionDetection(t *testing.T) {
 	cur = clone(func(r *Report) { r.Env.NumCPU = 4 })
 	if cmp := Compare(base, cur, DefaultTolerance()); !cmp.EnvMismatch || !cmp.Ok() {
 		t.Fatalf("env mismatch handling wrong: %+v", cmp)
+	}
+}
+
+// TestStrictAllocGate pins the zero-tolerance allocs/op gate: benchmarks
+// matching Tolerance.StrictAllocs fail on any allocs/op increase, however
+// far inside the fractional tolerance, while non-matching benchmarks keep
+// the fractional slack.
+func TestStrictAllocGate(t *testing.T) {
+	base := &Report{Schema: Schema, Benchmarks: []Benchmark{
+		{Name: "BenchmarkColumnarIngest/transpose", NsPerOp: 1000, BytesPerOp: 0, AllocsPerOp: 10},
+		{Name: "BenchmarkOther-8", NsPerOp: 1000, BytesPerOp: 0, AllocsPerOp: 10},
+	}}
+	cur := &Report{Schema: Schema, Benchmarks: []Benchmark{
+		{Name: "BenchmarkColumnarIngest/transpose", NsPerOp: 1000, BytesPerOp: 0, AllocsPerOp: 11},
+		{Name: "BenchmarkOther-8", NsPerOp: 1000, BytesPerOp: 0, AllocsPerOp: 11},
+	}}
+
+	tol := DefaultTolerance()
+	if cmp := Compare(base, cur, tol); !cmp.Ok() {
+		t.Fatalf("10%% alloc growth within fractional tolerance must pass: %+v", cmp.Regressions())
+	}
+
+	tol.StrictAllocs = regexp.MustCompile("BenchmarkColumnarIngest")
+	cmp := Compare(base, cur, tol)
+	if cmp.Ok() {
+		t.Fatal("strict-gated benchmark gained an alloc but passed")
+	}
+	regs := cmp.Regressions()
+	if len(regs) != 1 || regs[0].Name != "BenchmarkColumnarIngest/transpose" || regs[0].Metric != "allocs/op" {
+		t.Fatalf("strict gate flagged the wrong deltas: %+v", regs)
+	}
+
+	// Unchanged and improved allocs both pass under the strict gate.
+	if cmp := Compare(base, base, tol); !cmp.Ok() {
+		t.Fatalf("strict self-comparison must pass: %+v", cmp.Regressions())
+	}
+	better := &Report{Schema: Schema, Benchmarks: []Benchmark{
+		{Name: "BenchmarkColumnarIngest/transpose", NsPerOp: 1000, BytesPerOp: 0, AllocsPerOp: 0},
+		{Name: "BenchmarkOther-8", NsPerOp: 1000, BytesPerOp: 0, AllocsPerOp: 10},
+	}}
+	if cmp := Compare(base, better, tol); !cmp.Ok() {
+		t.Fatalf("alloc improvement under strict gate must pass: %+v", cmp.Regressions())
 	}
 }

@@ -21,6 +21,9 @@ func (es *estimateState) observeStride(st *pipelineState) {
 	es.lastTracked = false
 	cfg := &st.proc.cfg
 
+	// Calibrated rows are adjacent spans of one flat subcarrier-major slab
+	// (see Downsample), so the per-stride appends below stream sequential
+	// memory rather than chasing per-subcarrier heap rows.
 	calib := st.res.Calibrated
 	n := 0
 	if len(st.smoothed) > 0 {

@@ -7,8 +7,21 @@ import (
 	"sync"
 	"time"
 
+	"phasebeat/internal/arena"
 	"phasebeat/internal/dsp"
 	"phasebeat/internal/trace"
+)
+
+// Ring planes of the incremental engine's columnar store: the derived
+// per-sample quantities cached at ingest, one plane each, so a single
+// ring Advance admits one packet across every plane and subcarrier.
+const (
+	planeDiff = iota // wrapped phase difference
+	planeSin         // sin of the difference (circular-mean numerator)
+	planeCos         // cos of the difference (circular-mean denominator)
+	planeAmpA        // |CSI| on antenna A (amplitude gate)
+	planeAmpB        // |CSI| on antenna B
+	numPlanes
 )
 
 // smoothMargin returns the per-edge sample margin M within which smoothed
@@ -60,30 +73,38 @@ func defaultMaxGapSeconds(cfg *MonitorConfig) float64 {
 	return math.Max(1, 20/cfg.SampleRate)
 }
 
-// strideEngine maintains a Monitor's sliding analysis window as a true ring
-// buffer with per-packet caches, so each stride reprocesses only the new
-// tail plus the smoothing edge margin instead of the whole window.
+// strideEngine maintains a Monitor's sliding analysis window as a columnar
+// ring (internal/arena): one contiguous column per (plane, subcarrier)
+// channel, so each stride reprocesses only the new tail plus the smoothing
+// edge margin, reading sequential memory throughout.
 //
 // Exactness: the cached quantities (wrapped phase difference, its sin/cos,
 // per-antenna amplitudes) are computed with exactly the batch pipeline's
 // expressions, and the per-stride circular mean re-sums the cached sin/cos
-// in window order, so extraction is bit-identical to ExtractPhaseDifference
-// on the same window. Smoothed samples in the settled interior [M, n-M) are
-// mathematically identical across overlapping windows (the detrend cancels
-// the per-window unwrap anchor), so they are copied forward from the
-// previous stride rather than recomputed; only floating-point ulp drift of
-// the cancelled constant distinguishes them from a from-scratch batch run.
-// See DESIGN.md, "Incremental smoothing".
+// in window order — the ring views visit samples oldest-first, so the
+// summation order matches dsp.Circular over a linear trace and extraction
+// is bit-identical to ExtractPhaseDifference on the same window. Smoothed
+// samples in the settled interior [M, n-M) are mathematically identical
+// across overlapping windows (the detrend cancels the per-window unwrap
+// anchor), so they are copied forward from the previous stride rather than
+// recomputed; only floating-point ulp drift of the cancelled constant
+// distinguishes them from a from-scratch batch run. See DESIGN.md,
+// "Incremental smoothing" and §12 "Columnar memory layout".
 type strideEngine struct {
 	cfg  *MonitorConfig
 	proc *Processor
+
+	// arena backs every slab the engine owns (nil = unpooled); release()
+	// returns them so fleet sessions sharing one arena recycle window
+	// storage across Monitor lifetimes.
+	arena *arena.Arena
 
 	window, stride int
 	margin         int
 	nSub           int
 	cached         bool // per-packet caches in use (incremental path)
 
-	pos       int // total accepted packets; head slot is pos % window
+	pos       int // total accepted packets (mirrors the ring head)
 	sinceLast int // packets since the last processed window
 
 	// lastTime is the newest accepted timestamp (-Inf before the first
@@ -92,23 +113,33 @@ type strideEngine struct {
 	lastTime float64
 	maxGap   float64
 
-	// Ring caches, indexed [subcarrier][slot] with slot = pushIndex % window.
+	// ring is the incremental path's columnar store (numPlanes × nSub
+	// channels, power-of-two capacity ≥ window); diff/sinD/cosD/ampA/ampB
+	// are its cached per-plane column headers, indexed [subcarrier][slot].
+	ring             *arena.Ring[float64]
 	diff, sinD, cosD [][]float64
 	ampA, ampB       [][]float64
 
-	// pkts is the packet ring, kept only for the full-recompute path.
-	pkts []trace.Packet
+	// raw and times buffer the full-recompute path: raw CSI transposed
+	// into a complex columnar ring (NumAntennas planes × nSub channels)
+	// plus a timestamp ring, replacing the old packet-reference ring so
+	// the engine owns its window outright (no aliasing of producer
+	// buffers, bounded retention).
+	raw   *arena.Ring[complex128]
+	times *arena.Ring[float64]
 
 	// smoothed holds the previous stride's per-subcarrier smoothed windows;
 	// next is the matrix being computed this stride (the two swap).
-	smoothed, next [][]float64
-	haveSmoothed   bool
-	prevPos        int // pos at which smoothed was computed
+	smoothedM, nextM *arena.Matrix
+	smoothed, next   [][]float64
+	haveSmoothed     bool
+	prevPos          int // pos at which smoothed was computed
 
 	scratch   sync.Pool // *subScratch
 	weaker    []float64
 	eligible  []bool
 	fullTrace trace.Trace
+	fullCSI   []complex128 // fullTrace's flat CSI slab (for release)
 
 	// wantEvidence is latched per stride when the observer implements
 	// EvidenceCollector; trendAbs then accumulates each subcarrier's
@@ -140,6 +171,7 @@ func newStrideEngine(cfg *MonitorConfig, proc *Processor) *strideEngine {
 	e := &strideEngine{
 		cfg:      cfg,
 		proc:     proc,
+		arena:    cfg.Arena,
 		window:   window,
 		stride:   stride,
 		margin:   smoothMargin(&proc.cfg),
@@ -150,31 +182,43 @@ func newStrideEngine(cfg *MonitorConfig, proc *Processor) *strideEngine {
 	}
 	e.scratch.New = func() any { return &subScratch{} }
 	if e.cached {
-		e.diff = makeMatrix(e.nSub, window)
-		e.sinD = makeMatrix(e.nSub, window)
-		e.cosD = makeMatrix(e.nSub, window)
-		e.ampA = makeMatrix(e.nSub, window)
-		e.ampB = makeMatrix(e.nSub, window)
-		e.smoothed = makeMatrix(e.nSub, window)
-		e.next = makeMatrix(e.nSub, window)
+		e.ring = arena.NewFloatRing(e.arena, numPlanes, e.nSub, window)
+		e.diff = e.ring.Columns(planeDiff)
+		e.sinD = e.ring.Columns(planeSin)
+		e.cosD = e.ring.Columns(planeCos)
+		e.ampA = e.ring.Columns(planeAmpA)
+		e.ampB = e.ring.Columns(planeAmpB)
+		e.smoothedM = arena.NewMatrix(e.arena, e.nSub, window)
+		e.nextM = arena.NewMatrix(e.arena, e.nSub, window)
+		e.smoothed = e.smoothedM.Rows()
+		e.next = e.nextM.Rows()
 		e.weaker = make([]float64, e.nSub)
 		e.eligible = make([]bool, e.nSub)
 		if proc.cfg.EstimateRefreshEvery > 0 {
 			e.est = newEstimateState(&proc.cfg, proc.nPersons)
 		}
 	} else {
-		e.pkts = make([]trace.Packet, window)
+		e.raw = arena.NewComplexRing(e.arena, cfg.NumAntennas, e.nSub, window)
+		e.times = arena.NewFloatRing(e.arena, 1, 1, window)
 	}
 	return e
 }
 
-func makeMatrix(rows, cols int) [][]float64 {
-	backing := make([]float64, rows*cols)
-	out := make([][]float64, rows)
-	for i := range out {
-		out[i] = backing[i*cols : (i+1)*cols]
-	}
-	return out
+// release returns every slab the engine owns to its arena. The engine (and
+// any column view into it) is dead afterwards; the Monitor calls this when
+// the worker exits, which is what lets fleet sessions sharing one arena
+// recycle window storage across Monitor lifetimes.
+func (e *strideEngine) release() {
+	e.ring.Release(e.arena)
+	e.raw.Release(e.arena)
+	e.times.Release(e.arena)
+	e.smoothedM.Release(e.arena)
+	e.nextM.Release(e.arena)
+	e.arena.ReleaseComplexes(e.fullCSI)
+	e.diff, e.sinD, e.cosD, e.ampA, e.ampB = nil, nil, nil, nil, nil
+	e.smoothed, e.next = nil, nil
+	e.fullTrace = trace.Trace{}
+	e.fullCSI = nil
 }
 
 // push offers one packet to the ring. Packets that fail quarantine
@@ -207,13 +251,24 @@ func (e *strideEngine) push(p trace.Packet) (verdict pushVerdict, gapReset bool)
 	}
 	e.lastTime = p.Time
 
-	slot := e.pos % e.window
 	if !e.cached {
-		e.pkts[slot] = p
+		// Transpose the raw CSI into the complex columnar ring (the engine
+		// owns the copy; producer buffers are never aliased).
+		slot := e.raw.Slot()
+		for a, row := range p.CSI {
+			cols := e.raw.Columns(a)
+			for s, c := range row {
+				cols[s][slot] = c
+			}
+		}
+		e.times.Column(0, 0)[e.times.Slot()] = p.Time
+		e.raw.Advance()
+		e.times.Advance()
 		e.pos++
 		e.sinceLast++
 		return pushAccepted, gapReset
 	}
+	slot := e.ring.Slot()
 	a, b := e.proc.cfg.AntennaA, e.proc.cfg.AntennaB
 	rowA, rowB := p.CSI[a], p.CSI[b]
 	for s := 0; s < e.nSub; s++ {
@@ -226,6 +281,7 @@ func (e *strideEngine) push(p trace.Packet) (verdict pushVerdict, gapReset bool)
 		e.ampA[s][slot] = cmplx.Abs(ca)
 		e.ampB[s][slot] = cmplx.Abs(cb)
 	}
+	e.ring.Advance()
 	e.pos++
 	e.sinceLast++
 	return pushAccepted, gapReset
@@ -249,14 +305,20 @@ func packetFinite(p trace.Packet) bool {
 }
 
 // resetWindow discards the buffered window so the next packet starts a
-// fresh one — the gap-degradation path. Ring storage is retained; pos
-// returning to zero means no stale slot is ever read before being
-// rewritten (ready requires a full window of new packets).
+// fresh one — the gap-degradation path. Ring storage is retained; the
+// absolute indexing restarting at zero means no stale slot is ever read
+// before being rewritten (ready requires a full window of new packets).
 func (e *strideEngine) resetWindow() {
 	e.pos = 0
 	e.sinceLast = 0
 	e.haveSmoothed = false
 	e.prevPos = 0
+	if e.cached {
+		e.ring.Reset()
+	} else {
+		e.raw.Reset()
+		e.times.Reset()
+	}
 	e.est.reset()
 }
 
@@ -276,31 +338,80 @@ func (e *strideEngine) process() (*Result, error) {
 	return e.processIncremental(slide)
 }
 
-// processFull rebuilds a linear trace from the packet ring and runs the
-// batch pipeline — the reference (and fallback) path.
+// processFull rebuilds a linear trace from the columnar raw-CSI ring and
+// runs the batch pipeline — the reference (and fallback) path. The trace's
+// packets live in one flat complex slab allocated once per engine; each
+// stride transposes the window back into packet order (per-channel
+// sequential reads, strided writes — the mirror of ingest).
 func (e *strideEngine) processFull() (*Result, error) {
 	n := e.window
+	nAnt, nSub := e.cfg.NumAntennas, e.cfg.NumSubcarriers
 	if e.fullTrace.Packets == nil {
+		e.fullCSI = e.arena.Complexes(n * nAnt * nSub)
+		rows := make([][]complex128, n*nAnt)
+		for r := range rows {
+			rows[r] = e.fullCSI[r*nSub : (r+1)*nSub : (r+1)*nSub]
+		}
+		pkts := make([]trace.Packet, n)
+		for k := range pkts {
+			pkts[k].CSI = rows[k*nAnt : (k+1)*nAnt : (k+1)*nAnt]
+		}
 		e.fullTrace = trace.Trace{
 			SampleRate:     e.cfg.SampleRate,
-			NumAntennas:    e.cfg.NumAntennas,
-			NumSubcarriers: e.cfg.NumSubcarriers,
-			Packets:        make([]trace.Packet, n),
+			NumAntennas:    nAnt,
+			NumSubcarriers: nSub,
+			Packets:        pkts,
 		}
 	}
-	start := e.pos % n
-	copy(e.fullTrace.Packets, e.pkts[start:])
-	copy(e.fullTrace.Packets[n-start:], e.pkts[:start])
+	wstart := e.raw.Head() - int64(n)
+	for a := 0; a < nAnt; a++ {
+		for s := 0; s < nSub; s++ {
+			v, err := e.raw.View(a, s, wstart, n)
+			if err != nil {
+				return &Result{}, fmt.Errorf("core: raw window: %w", err)
+			}
+			va, vb := v.Slices()
+			k := 0
+			for _, c := range va {
+				e.fullTrace.Packets[k].CSI[a][s] = c
+				k++
+			}
+			for _, c := range vb {
+				e.fullTrace.Packets[k].CSI[a][s] = c
+				k++
+			}
+		}
+	}
+	tv, err := e.times.View(0, 0, wstart, n)
+	if err != nil {
+		return &Result{}, fmt.Errorf("core: time window: %w", err)
+	}
+	for k := range e.fullTrace.Packets {
+		e.fullTrace.Packets[k].Time = tv.At(k)
+	}
 	e.lastSmoothedSamples = n
 	return e.proc.Process(&e.fullTrace)
 }
 
-// processIncremental extracts and smooths from the ring caches. When the
-// previous stride's smoothed matrix is reusable (window slid by a multiple
-// of TrendStride and the window comfortably exceeds twice the margin plus
-// the slide), only the head margin and the new tail are smoothed; otherwise
-// every subcarrier is smoothed in full — still without touching raw CSI.
+// processIncremental extracts and smooths from the ring caches, then runs
+// the shared downstream stage list over the result.
 func (e *strideEngine) processIncremental(slide int) (*Result, error) {
+	if err := e.strideSmooth(slide); err != nil {
+		return nil, err
+	}
+	return e.proc.finishSmoothed(e.smoothed, e.eligible, e.cfg.SampleRate, e.est)
+}
+
+// strideSmooth is the engine-owned prefix of a stride: extraction and
+// smoothing from the columnar rings plus the replicated amplitude gate.
+// When the previous stride's smoothed matrix is reusable (window slid by a
+// multiple of TrendStride and the window comfortably exceeds twice the
+// margin plus the slide), only the head margin and the new tail are
+// smoothed; otherwise every subcarrier is smoothed in full — still without
+// touching raw CSI. It is split from processIncremental so the allocation
+// guards can measure the columnar engine in isolation from the batch
+// stages downstream.
+func (e *strideEngine) strideSmooth(slide int) error {
 	e.est.beginStride(slide)
 	n := e.window
 	pcfg := &e.proc.cfg
@@ -318,21 +429,28 @@ func (e *strideEngine) processIncremental(slide int) (*Result, error) {
 	} else {
 		e.lastSmoothedSamples = n
 	}
-	start := e.pos % n
+	// The window is the newest n samples by absolute index; ring views
+	// linearize it oldest-first without copying.
+	wstart := e.ring.Head() - int64(n)
 
 	// The ring-cache loop fuses extraction and smoothing; it is reported
 	// to the observer as the smoothing stage, with a note marking the
-	// incremental reuse so stride timings read like batch timings.
+	// incremental reuse so stride timings read like batch timings. The
+	// fan-out splits on contiguous subcarrier ranges: adjacent subcarriers
+	// are adjacent columns of the slab, so each worker streams its own
+	// contiguous span, with one pooled scratch per range.
 	var t0 time.Time
 	if obs != nil {
 		obs.OnStageStart(StageSmooth)
 		t0 = time.Now()
 	}
-	err := parallelFor(e.nSub, pcfg.Parallelism, func(s int) error {
+	err := parallelChunks(e.nSub, pcfg.Parallelism, func(lo, hi int) error {
 		ss := e.scratch.Get().(*subScratch)
 		defer e.scratch.Put(ss)
-		if err := e.strideSubcarrier(s, slide, start, reuse, ss); err != nil {
-			return fmt.Errorf("subcarrier %d: %w", s, err)
+		for s := lo; s < hi; s++ {
+			if err := e.strideSubcarrier(s, slide, wstart, reuse, ss); err != nil {
+				return fmt.Errorf("subcarrier %d: %w", s, err)
+			}
 		}
 		return nil
 	})
@@ -356,9 +474,10 @@ func (e *strideEngine) processIncremental(slide int) (*Result, error) {
 		})
 	}
 	if err != nil {
-		return nil, &StageError{Stage: StageSmooth, Err: err}
+		return &StageError{Stage: StageSmooth, Err: err}
 	}
 	e.smoothed, e.next = e.next, e.smoothed
+	e.smoothedM, e.nextM = e.nextM, e.smoothedM
 	e.haveSmoothed = true
 	e.prevPos = e.pos
 
@@ -395,43 +514,42 @@ func (e *strideEngine) processIncremental(slide int) (*Result, error) {
 			Evidence:    ev,
 		})
 	}
-	return e.proc.finishSmoothed(e.smoothed, e.eligible, e.cfg.SampleRate, e.est)
+	return nil
 }
 
 // strideSubcarrier updates one subcarrier for the current stride: circular
-// mean and amplitude sums from the caches, rotation + unwrap, and either a
-// ranged or a full smoothing pass into e.next[s].
-func (e *strideEngine) strideSubcarrier(s, slide, start int, reuse bool, ss *subScratch) error {
+// mean and amplitude sums over zero-copy window views, rotation + unwrap,
+// and either a ranged or a full smoothing pass into e.next[s].
+func (e *strideEngine) strideSubcarrier(s, slide int, wstart int64, reuse bool, ss *subScratch) error {
 	n := e.window
 	pcfg := &e.proc.cfg
 
-	// Sum sin/cos and amplitudes in window order — the same addition order
-	// as dsp.Circular and AmplitudeGate over a linear trace, so the results
-	// are bit-identical.
-	var sumSin, sumCos, sumA, sumB float64
-	sinD, cosD, ampA, ampB := e.sinD[s], e.cosD[s], e.ampA[s], e.ampB[s]
-	for i := start; i < n; i++ {
-		sumSin += sinD[i]
-		sumCos += cosD[i]
-		sumA += ampA[i]
-		sumB += ampB[i]
+	// Sum sin/cos and amplitudes in window order — a view's segments visit
+	// samples oldest-first, the same addition order as dsp.Circular and
+	// AmplitudeGate over a linear trace, so the results are bit-identical
+	// whether or not the window straddles the wrap point.
+	sv, err := e.ring.View(planeSin, s, wstart, n)
+	if err != nil {
+		return err
 	}
-	for i := 0; i < start; i++ {
-		sumSin += sinD[i]
-		sumCos += cosD[i]
-		sumA += ampA[i]
-		sumB += ampB[i]
-	}
+	cv, _ := e.ring.View(planeCos, s, wstart, n)
+	av, _ := e.ring.View(planeAmpA, s, wstart, n)
+	bv, _ := e.ring.View(planeAmpB, s, wstart, n)
+	sumSin := viewSum(sv)
+	sumCos := viewSum(cv)
+	sumA := viewSum(av)
+	sumB := viewSum(bv)
 	e.weaker[s] = math.Min(sumA, sumB) / float64(n)
 	mean := math.Atan2(sumSin, sumCos)
 
-	// Linearize the wrapped diff, rotate onto the mean, unwrap.
+	// Linearize the wrapped diff into scratch (the one copy smoothing
+	// needs: rotation clobbers its input), rotate onto the mean, unwrap.
+	dv, _ := e.ring.View(planeDiff, s, wstart, n)
 	if cap(ss.series) < n {
 		ss.series = make([]float64, n)
 	}
 	series := ss.series[:n]
-	copy(series, e.diff[s][start:])
-	copy(series[n-start:], e.diff[s][:start])
+	dv.CopyTo(series)
 	ss.unwrap = unwrapAboutMean(series, mean, ss.unwrap)
 
 	if !reuse {
@@ -459,6 +577,21 @@ func (e *strideEngine) strideSubcarrier(s, slide, start int, reuse bool, ss *sub
 	copy(e.next[s][m:lo], e.smoothed[s][m+slide:n-m])
 	e.accumTrend(s, ss.unwrap)
 	return nil
+}
+
+// viewSum adds a window view's samples oldest-first — the same order a
+// serial loop over a linear trace uses, which keeps the circular-mean and
+// amplitude-gate sums bit-identical to their batch counterparts.
+func viewSum(v arena.View[float64]) float64 {
+	var sum float64
+	a, b := v.Slices()
+	for _, x := range a {
+		sum += x
+	}
+	for _, x := range b {
+		sum += x
+	}
+	return sum
 }
 
 // accumTrend records subcarrier s's summed |unwrapped − smoothed| into

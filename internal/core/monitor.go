@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"phasebeat/internal/arena"
 	"phasebeat/internal/metrics"
 	"phasebeat/internal/trace"
 )
@@ -96,6 +97,13 @@ type MonitorConfig struct {
 	// the zero-overhead-when-disabled contract of DESIGN §9 applies to
 	// logging too.
 	Logger *slog.Logger
+	// Arena, when non-nil, is the allocator the monitor's columnar window
+	// storage (phase rings, smoothing matrices, raw-CSI retention) is
+	// carved from, and to which it returns on Close. Sharing one arena
+	// across a fleet of monitors lets sessions recycle each other's
+	// window slabs instead of growing the heap per session. Nil (the
+	// default) allocates private, unpooled slabs.
+	Arena *arena.Arena
 }
 
 // DefaultMonitorConfig returns a realtime configuration: one-minute
@@ -265,6 +273,9 @@ func (m *Monitor) run() {
 	defer close(m.updates)
 
 	engine := newStrideEngine(&m.cfg, m.processor)
+	// On exit the window slabs go back to the configured arena so the
+	// next session of a shared-arena fleet reuses them (no-op unpooled).
+	defer engine.release()
 	logger := m.cfg.Logger
 	var lastHealth Health
 	for {

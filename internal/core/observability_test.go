@@ -305,9 +305,12 @@ func TestMonitorSurvivesPanickingUpdateObserver(t *testing.T) {
 	if len(updates) == 0 {
 		t.Fatal("no updates delivered with a panicking update observer")
 	}
-	if m.Health().ObserverPanics != uint64(len(updates)) {
-		t.Fatalf("ObserverPanics = %d, want one per update (%d)",
-			m.Health().ObserverPanics, len(updates))
+	// The observer runs before delivery, and Close racing a stride's
+	// deliver can drop that one final in-flight update — so the panic
+	// count may exceed the delivered count by at most one.
+	if p := m.Health().ObserverPanics; p < uint64(len(updates)) || p > uint64(len(updates))+1 {
+		t.Fatalf("ObserverPanics = %d, want one per update (%d, +1 for an undelivered final stride)",
+			p, len(updates))
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math/cmplx"
 
+	"phasebeat/internal/arena"
 	"phasebeat/internal/dsp"
 	"phasebeat/internal/trace"
 )
@@ -35,9 +36,26 @@ func ExtractPhaseDifference(tr *trace.Trace, antennaA, antennaB int) ([][]float6
 	return extractPhaseDifference(tr, antennaA, antennaB, 0)
 }
 
-// extractPhaseDifference fans the independent subcarriers across workers
-// goroutines (see parallelFor).
+// extractPhaseDifference fans the subcarriers across workers goroutines
+// into a fresh (unpooled) columnar matrix.
 func extractPhaseDifference(tr *trace.Trace, antennaA, antennaB, workers int) ([][]float64, error) {
+	m, err := extractColumnar(tr, antennaA, antennaB, workers, nil)
+	if err != nil {
+		return nil, err
+	}
+	return m.Rows(), nil
+}
+
+// extractColumnar is the transpose at the batch pipeline's entry: it turns
+// the row-oriented per-packet CSI into a subcarrier-major columnar matrix
+// (one contiguous row per subcarrier backed by a single arena slab), so
+// every downstream stage reads sequential memory. The per-subcarrier
+// computation — wrapped difference, circular mean, rotate + unwrap — is
+// expression-for-expression the pre-columnar code, so the values are
+// bit-identical; only the rows' backing storage changed. Independent
+// subcarriers fan out over contiguous ranges (see parallelChunks), with
+// one wrapped-series scratch per range instead of one per subcarrier.
+func extractColumnar(tr *trace.Trace, antennaA, antennaB, workers int, ar *arena.Arena) (*arena.Matrix, error) {
 	if tr == nil || tr.Len() == 0 {
 		return nil, fmt.Errorf("%w: empty trace", ErrNoData)
 	}
@@ -49,29 +67,34 @@ func extractPhaseDifference(tr *trace.Trace, antennaA, antennaB, workers int) ([
 	}
 	nSub := tr.NumSubcarriers
 	nPkt := tr.Len()
-	out := make([][]float64, nSub)
-	err := parallelFor(nSub, workers, func(s int) error {
+	m := arena.NewMatrix(ar, nSub, nPkt)
+	err := parallelChunks(nSub, workers, func(lo, hi int) error {
 		series := make([]float64, nPkt)
-		for k, p := range tr.Packets {
-			d := dsp.WrapPhase(cmplx.Phase(p.CSI[antennaA][s]) - cmplx.Phase(p.CSI[antennaB][s]))
-			if d != d { // NaN CSI: unwrap would smear it across the window
-				return fmt.Errorf("%w: NaN phase difference at subcarrier %d packet %d", ErrNonFinite, s, k)
+		for s := lo; s < hi; s++ {
+			for k, p := range tr.Packets {
+				d := dsp.WrapPhase(cmplx.Phase(p.CSI[antennaA][s]) - cmplx.Phase(p.CSI[antennaB][s]))
+				if d != d { // NaN CSI: unwrap would smear it across the window
+					return fmt.Errorf("%w: NaN phase difference at subcarrier %d packet %d", ErrNonFinite, s, k)
+				}
+				series[k] = d
 			}
-			series[k] = d
+			// Rotate the series onto its circular mean before unwrapping: the
+			// constant offset Δβ is arbitrary (Theorem 1), and a mean near ±π
+			// would otherwise make measurement noise flip the wrap boundary
+			// back and forth, turning the unwrapped series into a random walk
+			// that floods the breathing band.
+			mean := dsp.Circular(series).Mean
+			// The matrix row has exactly nPkt capacity, so the unwrap writes
+			// in place into the slab.
+			unwrapAboutMean(series, mean, m.Row(s)[:0])
 		}
-		// Rotate the series onto its circular mean before unwrapping: the
-		// constant offset Δβ is arbitrary (Theorem 1), and a mean near ±π
-		// would otherwise make measurement noise flip the wrap boundary
-		// back and forth, turning the unwrapped series into a random walk
-		// that floods the breathing band.
-		mean := dsp.Circular(series).Mean
-		out[s] = unwrapAboutMean(series, mean, nil)
 		return nil
 	})
 	if err != nil {
+		m.Release(ar)
 		return nil, err
 	}
-	return out, nil
+	return m, nil
 }
 
 // unwrapAboutMean rotates the wrapped series onto mean, unwraps it into dst

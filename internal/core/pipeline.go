@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"phasebeat/internal/arena"
 	"phasebeat/internal/trace"
 )
 
@@ -41,6 +42,12 @@ type Result struct {
 type Processor struct {
 	cfg      Config
 	nPersons int
+
+	// arena pools the pipeline's internal slabs (phase-difference and
+	// smoothed matrices) across Process calls; nil disables pooling.
+	// Matrices whose ownership escapes into the Result (Calibrated) are
+	// never arena-backed.
+	arena *arena.Arena
 }
 
 // Option customizes a Processor.
@@ -61,6 +68,14 @@ func WithPersons(n int) Option {
 // setting Config.Observer).
 func WithObserver(obs StageObserver) Option {
 	return func(p *Processor) { p.cfg.Observer = obs }
+}
+
+// WithArena pools the pipeline's internal columnar slabs on the given
+// allocator, so repeated Process calls (and the sessions of a future fleet
+// daemon sharing one arena) recycle window-sized matrices instead of
+// re-allocating them. A nil arena (the default) disables pooling.
+func WithArena(a *arena.Arena) Option {
+	return func(p *Processor) { p.arena = a }
 }
 
 // NewProcessor builds a Processor with the paper's defaults.
@@ -121,6 +136,11 @@ func (p *Processor) Process(tr *trace.Trace) (*Result, error) {
 		st.sampleRate = tr.SampleRate
 	}
 	err := p.runStages(st, batchStages)
+	// The phase-difference and smoothed slabs are internal to the run —
+	// nothing in the Result aliases them — so they go back to the arena
+	// for the next Process call (no-op without an arena).
+	st.phaseDiffM.Release(p.arena)
+	st.smoothedM.Release(p.arena)
 	return st.res, err
 }
 

@@ -1,0 +1,8 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports whether the race detector instruments this build.
+// Strict zero-allocation guards skip under it (instrumentation allocates);
+// comparative guards run either way.
+const raceEnabled = false

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"phasebeat/internal/arena"
 	"phasebeat/internal/trace"
 )
 
@@ -127,9 +128,14 @@ type pipelineState struct {
 	sampleRate float64
 
 	// phaseDiff is the unwrapped phase difference [subcarrier][sample].
-	phaseDiff [][]float64
-	// smoothed is the calibrated full-rate matrix.
-	smoothed [][]float64
+	// phaseDiffM is its columnar backing matrix on the batch path (nil on
+	// the Monitor's incremental path); Process returns it to the arena.
+	phaseDiff  [][]float64
+	phaseDiffM *arena.Matrix
+	// smoothed is the calibrated full-rate matrix; smoothedM is its
+	// columnar backing on the batch path, released like phaseDiffM.
+	smoothed  [][]float64
+	smoothedM *arena.Matrix
 	// eligible is the amplitude-gate mask (nil = no gate).
 	eligible []bool
 	// gateFallback is true when the gate rejected every subcarrier and the
@@ -231,22 +237,24 @@ func runExtract(st *pipelineState) error {
 		return fmt.Errorf("%w: empty trace", ErrNoData)
 	}
 	cfg := &st.proc.cfg
-	pd, err := extractPhaseDifference(st.tr, cfg.AntennaA, cfg.AntennaB, cfg.Parallelism)
+	m, err := extractColumnar(st.tr, cfg.AntennaA, cfg.AntennaB, cfg.Parallelism, st.proc.arena)
 	if err != nil {
 		return err
 	}
-	st.phaseDiff = pd
+	st.phaseDiffM = m
+	st.phaseDiff = m.Rows()
 	return nil
 }
 
 func runSmooth(st *pipelineState) error {
-	smoothed, err := SmoothAll(st.phaseDiff, &st.proc.cfg)
+	m, err := smoothAllColumnar(st.phaseDiff, &st.proc.cfg, st.proc.arena)
 	if err != nil {
 		return err
 	}
-	st.smoothed = smoothed
+	st.smoothedM = m
+	st.smoothed = m.Rows()
 	if st.wantEvidence {
-		st.evidence = &CalibrationEvidence{TrendMagnitude: meanAbsDiff(st.phaseDiff, smoothed)}
+		st.evidence = &CalibrationEvidence{TrendMagnitude: meanAbsDiff(st.phaseDiff, st.smoothed)}
 	}
 	return nil
 }

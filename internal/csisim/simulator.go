@@ -257,9 +257,13 @@ func (s *Simulator) NextPacket() trace.Packet {
 
 	slope, offset := s.nic.packetErrors(s.rng, s.packetIndex)
 
-	pkt := trace.Packet{Time: t, CSI: make([][]complex128, ants)}
+	// One flat CSI slab per packet (see trace.NewPacket): the emission loop
+	// writes each antenna row in place, and consumers that transpose into
+	// columnar storage read adjacent memory. Allocation consumes no RNG, so
+	// the error-model draw sequence below is unchanged.
+	pkt := trace.NewPacket(t, ants, len(s.subFreq))
 	for a := 0; a < ants; a++ {
-		row := make([]complex128, len(s.subFreq))
+		row := pkt.CSI[a]
 		copy(row, s.static[a])
 		for _, term := range terms {
 			tau := term.length/SpeedOfLight + s.antennaDelay(a, term.aoa)
@@ -300,7 +304,6 @@ func (s *Simulator) NextPacket() trace.Packet {
 			row[i] += complex(s.nic.ThermalNoiseSigma*s.rng.NormFloat64(),
 				s.nic.ThermalNoiseSigma*s.rng.NormFloat64())
 		}
-		pkt.CSI[a] = row
 	}
 	s.packetIndex++
 	return pkt

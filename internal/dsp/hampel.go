@@ -237,7 +237,12 @@ func RunningMedianStridedRange(dst, x []float64, window, stride, lo, hi int) ([]
 	if aTo > nAnchors-1 {
 		aTo = nAnchors - 1
 	}
-	anchorVal := make([]float64, aTo-aFrom+1)
+	anchorBuf := anchorPool.Get().(*[]float64)
+	defer anchorPool.Put(anchorBuf)
+	if cap(*anchorBuf) < aTo-aFrom+1 {
+		*anchorBuf = make([]float64, aTo-aFrom+1)
+	}
+	anchorVal := (*anchorBuf)[:aTo-aFrom+1]
 	med := getMedianWindow(window + stride + 2)
 	defer putMedianWindow(med)
 	// Prime the multiset for the first needed anchor, then slide across the
@@ -304,6 +309,13 @@ func newMedianWindow(capacity int) *medianWindow {
 // medianWindowPool recycles filter state across calls so the Hampel-heavy
 // hot paths (batch calibration, the incremental monitor) stay allocation-free
 // at steady state.
+// anchorPool recycles the per-call anchor-median scratch of
+// RunningMedianStridedRange: the streaming monitor evaluates the ranged
+// median once or twice per subcarrier per stride, and the anchor count is
+// small, so pooling removes the last per-subcarrier allocation of a warm
+// stride.
+var anchorPool = sync.Pool{New: func() any { return new([]float64) }}
+
 var medianWindowPool = sync.Pool{New: func() any { return new(medianWindow) }}
 
 func getMedianWindow(capacity int) *medianWindow {

@@ -21,12 +21,36 @@ type Packet struct {
 	CSI [][]complex128
 }
 
-// Clone returns a deep copy of the packet.
+// NewPacket returns a packet whose antenna rows are carved from one flat
+// backing slab: two allocations total regardless of the antenna count, and
+// rows that are adjacent in memory — the layout the columnar ingest path
+// transposes from. Rows are capacity-capped so an append to one cannot
+// bleed into its neighbor.
+func NewPacket(time float64, antennas, subcarriers int) Packet {
+	rows := make([][]complex128, antennas)
+	slab := make([]complex128, antennas*subcarriers)
+	for a := range rows {
+		rows[a] = slab[a*subcarriers : (a+1)*subcarriers : (a+1)*subcarriers]
+	}
+	return Packet{Time: time, CSI: rows}
+}
+
+// Clone returns a deep copy of the packet. The copy's rows share one flat
+// backing slab (cumulative offsets handle ragged inputs), so cloning costs
+// two allocations instead of one per antenna.
 func (p Packet) Clone() Packet {
+	total := 0
+	for _, row := range p.CSI {
+		total += len(row)
+	}
 	out := Packet{Time: p.Time, CSI: make([][]complex128, len(p.CSI))}
+	slab := make([]complex128, total)
+	off := 0
 	for a, row := range p.CSI {
-		out.CSI[a] = make([]complex128, len(row))
-		copy(out.CSI[a], row)
+		dst := slab[off : off+len(row) : off+len(row)]
+		copy(dst, row)
+		out.CSI[a] = dst
+		off += len(row)
 	}
 	return out
 }

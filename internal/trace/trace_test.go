@@ -109,6 +109,71 @@ func TestPacketClone(t *testing.T) {
 	if tr.Packets[0].CSI[0][0] == complex(99, 99) {
 		t.Error("Clone shares backing storage")
 	}
+	// Rows come from one flat slab but must not bleed into each other: an
+	// append that exceeds a row's length has to reallocate, not overwrite
+	// the next row.
+	row0 := append(c.CSI[0], complex(7, 7))
+	_ = row0
+	if c.CSI[1][0] == complex(7, 7) {
+		t.Error("append to row 0 overwrote row 1 in the shared slab")
+	}
+}
+
+func TestPacketCloneRagged(t *testing.T) {
+	// Clone must survive ragged packets (constructible by hand even though
+	// Validate rejects them in traces): cumulative offsets, exact lengths.
+	p := Packet{Time: 1.5, CSI: [][]complex128{
+		{1, 2, 3},
+		{4},
+		{},
+		{5, 6},
+	}}
+	c := p.Clone()
+	if c.Time != p.Time {
+		t.Errorf("Time = %v, want %v", c.Time, p.Time)
+	}
+	if len(c.CSI) != len(p.CSI) {
+		t.Fatalf("antenna count = %d, want %d", len(c.CSI), len(p.CSI))
+	}
+	for a, row := range p.CSI {
+		if len(c.CSI[a]) != len(row) {
+			t.Fatalf("antenna %d: len = %d, want %d", a, len(c.CSI[a]), len(row))
+		}
+		for i, v := range row {
+			if c.CSI[a][i] != v {
+				t.Errorf("antenna %d sample %d: got %v, want %v", a, i, c.CSI[a][i], v)
+			}
+		}
+	}
+}
+
+func TestNewPacketLayout(t *testing.T) {
+	p := NewPacket(2.5, 3, 4)
+	if p.Time != 2.5 {
+		t.Errorf("Time = %v, want 2.5", p.Time)
+	}
+	if len(p.CSI) != 3 {
+		t.Fatalf("antennas = %d, want 3", len(p.CSI))
+	}
+	for a, row := range p.CSI {
+		if len(row) != 4 {
+			t.Fatalf("antenna %d subcarriers = %d, want 4", a, len(row))
+		}
+		if cap(row) != 4 {
+			t.Errorf("antenna %d row cap = %d, want 4 (capped against bleed)", a, cap(row))
+		}
+	}
+	// Writes to one row must not show up in its neighbors, and an append
+	// past a row's capacity must reallocate rather than clobber the next
+	// row of the shared slab.
+	p.CSI[1][0] = complex(9, 9)
+	if p.CSI[0][3] == complex(9, 9) || p.CSI[2][0] == complex(9, 9) {
+		t.Error("rows alias each other")
+	}
+	_ = append(p.CSI[0], complex(7, 7))
+	if p.CSI[1][0] != complex(9, 9) {
+		t.Error("append to row 0 overwrote row 1 in the shared slab")
+	}
 }
 
 // Property: binary codec round-trips arbitrary traces exactly.
