@@ -7,10 +7,11 @@ COVER_MIN_CORE ?= 80
 
 # `make check` is the PR gate: vet, build, race-enabled tests, a
 # one-iteration smoke pass over the performance benchmarks so a broken
-# benchmark fails fast without paying full measurement time, and a
-# gated coverage report over the internal packages.
+# benchmark fails fast without paying full measurement time, a bounded
+# run of the fleet daemon's self-test, and a gated coverage report over
+# the internal packages.
 .PHONY: check
-check: vet build race bench-smoke cover
+check: vet build race bench-smoke daemon-smoke cover
 
 .PHONY: vet
 vet:
@@ -48,7 +49,14 @@ cover:
 # panic or reject their own fixtures without paying measurement time.
 .PHONY: bench-smoke
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkPipelineProcess$$|BenchmarkMonitorStride$$|BenchmarkQuarantinePush$$|BenchmarkDWTDenoise$$|BenchmarkRootMUSIC$$|BenchmarkEstimateStage$$|BenchmarkStreamingCorrelationAppend$$|BenchmarkColumnarIngest$$' -benchtime 1x ./internal/core ./internal/music ./internal/arena
+	$(GO) test -run '^$$' -bench 'BenchmarkPipelineProcess$$|BenchmarkMonitorStride$$|BenchmarkQuarantinePush$$|BenchmarkDWTDenoise$$|BenchmarkRootMUSIC$$|BenchmarkEstimateStage$$|BenchmarkStreamingCorrelationAppend$$|BenchmarkColumnarIngest$$|BenchmarkFleetDensity$$' -benchtime 1x ./internal/core ./internal/music ./internal/arena ./internal/fleet
+
+# A small, bounded run of the fleet daemon's in-process load harness:
+# opens sessions over sharded arenas with mid-run churn, and exits
+# non-zero if any session starves or churn recycles no arena slabs.
+.PHONY: daemon-smoke
+daemon-smoke:
+	$(GO) run ./cmd/phasebeatd -selftest -sessions 64 -seconds 12 -window 4 -stride 1 -churn 0.25
 
 # The columnar memory-layout benchmarks on their own, with allocation
 # stats — the report CI uploads as the columnar-bench artifact.

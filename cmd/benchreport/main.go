@@ -51,8 +51,9 @@ func main() {
 
 // defaultBench selects the tracked benchmarks: the two pipeline
 // throughput benchmarks, the per-packet quarantine, DWT and root-MUSIC
-// hot paths, and the columnar-ingest microbenchmarks.
-const defaultBench = "BenchmarkPipelineProcess$|BenchmarkMonitorStride$|BenchmarkQuarantinePush$|BenchmarkDWTDenoise$|BenchmarkRootMUSIC$|BenchmarkEstimateStage$|BenchmarkStreamingCorrelationAppend$|BenchmarkColumnarIngest$"
+// hot paths, the columnar-ingest microbenchmarks, and the fleet
+// daemon's session-density harness (sessions/core Extra metric).
+const defaultBench = "BenchmarkPipelineProcess$|BenchmarkMonitorStride$|BenchmarkQuarantinePush$|BenchmarkDWTDenoise$|BenchmarkRootMUSIC$|BenchmarkEstimateStage$|BenchmarkStreamingCorrelationAppend$|BenchmarkColumnarIngest$|BenchmarkFleetDensity$"
 
 // defaultStrictAllocs selects the zero-alloc hot paths whose allocs/op
 // is gated with zero tolerance against the baseline: warm columnar
@@ -67,7 +68,7 @@ const defaultStrictAllocs = "BenchmarkColumnarIngest|BenchmarkQuarantinePush$|Be
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
 	bench := fs.String("bench", defaultBench, "benchmark regex passed to go test -bench")
-	packages := fs.String("packages", "./internal/core ./internal/music ./internal/arena", "space-separated packages to benchmark")
+	packages := fs.String("packages", "./internal/core ./internal/music ./internal/arena ./internal/fleet", "space-separated packages to benchmark")
 	benchtime := fs.String("benchtime", "200ms", "per-benchmark measurement time (go test -benchtime)")
 	count := fs.Int("count", 1, "benchmark repetitions; the fastest run per benchmark is kept")
 	cpu := fs.String("cpu", "1", "go test -cpu list; pinned to 1 so benchmark names and serial latency are machine-stable (empty = go default)")

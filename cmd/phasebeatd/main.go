@@ -1,0 +1,234 @@
+// Command phasebeatd is the multi-session PhaseBeat fleet daemon: it
+// multiplexes thousands of concurrent Monitor sessions in one process,
+// sharded by session key, with per-shard arenas recycling window storage
+// across session churn. Clients speak a framed binary protocol (see
+// internal/fleet) over TCP or a unix socket: open a session, stream CSI
+// packets, long-poll vital-sign updates, close.
+//
+// Usage:
+//
+//	phasebeatd -listen :7070 [-unix /run/phasebeat.sock] [-shards 8] [-metrics-addr :9090]
+//	phasebeatd -selftest [-sessions 1000] [-rate 30] [-seconds 16] [-churn 0.25]
+//
+// The selftest runs the csisim-driven load harness in-process — S
+// sessions × R Hz of synthetic CSI with mid-run churn — prints the
+// density report (sessions/core), and exits non-zero if any session
+// starves or churn fails to recycle arena slabs.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+
+	"phasebeat/internal/fleet"
+	"phasebeat/internal/metrics"
+)
+
+func main() {
+	shutdown := make(chan os.Signal, 1)
+	signal.Notify(shutdown, os.Interrupt, syscall.SIGTERM)
+	stop := make(chan struct{})
+	go func() {
+		<-shutdown
+		close(stop)
+	}()
+	if err := run(os.Args[1:], os.Stdout, stop); err != nil {
+		fmt.Fprintln(os.Stderr, "phasebeatd:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable entry point: stop ends a serving daemon cleanly.
+func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
+	fs := flag.NewFlagSet("phasebeatd", flag.ContinueOnError)
+	listen := fs.String("listen", "", "TCP listen address for the frame API, e.g. :7070")
+	unixSock := fs.String("unix", "", "unix socket path for the frame API")
+	shards := fs.Int("shards", 0, "session shard count (0 = GOMAXPROCS); one goroutine and one arena per shard")
+	mailbox := fs.Int("mailbox", 256, "per-shard ingest mailbox depth in packets (full mailbox blocks producers)")
+	sessionBuffer := fs.Int("session-buffer", 64, "per-session ingest buffer in packets before drop-on-backlog shedding")
+	metricsAddr := fs.String("metrics-addr", "", "serve fleet metrics (JSON at /debug/metrics, pprof at /debug/pprof/) on this address")
+	logLevel := fs.String("log", "", "structured logging to stderr at this level: debug, info, warn or error (empty = silent)")
+
+	selftest := fs.Bool("selftest", false, "run the in-process load harness and exit")
+	sessions := fs.Int("sessions", 1000, "selftest: concurrent session count")
+	rate := fs.Float64("rate", 30, "selftest: per-session packet rate (Hz)")
+	seconds := fs.Float64("seconds", 16, "selftest: virtual stream duration per session (s)")
+	window := fs.Float64("window", 8, "selftest: session analysis window (s)")
+	stride := fs.Float64("stride", 2, "selftest: session update stride (s)")
+	subcarriers := fs.Int("subcarriers", 16, "selftest: subcarriers per packet (≤ 30)")
+	churn := fs.Float64("churn", 0.25, "selftest: fraction of sessions closed and replaced mid-run (negative = none)")
+	feeders := fs.Int("feeders", 0, "selftest: producer goroutines (0 = GOMAXPROCS)")
+	seed := fs.Int64("seed", 1, "selftest: simulation seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	logger, err := buildLogger(*logLevel)
+	if err != nil {
+		return err
+	}
+	reg := metrics.NewRegistry()
+	var metricsLis net.Listener
+	if *metricsAddr != "" {
+		metricsLis, err = serveMetrics(*metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer metricsLis.Close()
+		fmt.Fprintf(stdout, "phasebeatd: metrics on http://%s/debug/metrics\n", metricsLis.Addr())
+	}
+
+	if *selftest {
+		return runSelftest(stdout, reg, fleet.HarnessConfig{
+			Sessions:      *sessions,
+			Shards:        *shards,
+			Feeders:       *feeders,
+			SampleRate:    *rate,
+			Seconds:       *seconds,
+			WindowSeconds: *window,
+			StrideSeconds: *stride,
+			Subcarriers:   *subcarriers,
+			ChurnFraction: *churn,
+			Seed:          *seed,
+			Metrics:       reg,
+		})
+	}
+
+	if *listen == "" && *unixSock == "" {
+		return errors.New("nothing to do: need -listen or -unix (or -selftest)")
+	}
+
+	mgr, err := fleet.New(fleet.Config{
+		Shards:        *shards,
+		MailboxDepth:  *mailbox,
+		SessionBuffer: *sessionBuffer,
+		Metrics:       reg,
+		Logger:        logger,
+	})
+	if err != nil {
+		return err
+	}
+	defer mgr.Close()
+
+	srv := fleet.NewServer(mgr, logger)
+	var (
+		wg       sync.WaitGroup
+		serveMu  sync.Mutex
+		serveErr error
+	)
+	serveOn := func(network, addr string) error {
+		lis, err := net.Listen(network, addr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "phasebeatd: serving %s on %s\n", network, lis.Addr())
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := srv.Serve(lis); err != nil {
+				serveMu.Lock()
+				if serveErr == nil {
+					serveErr = err
+				}
+				serveMu.Unlock()
+			}
+		}()
+		return nil
+	}
+	if *listen != "" {
+		if err := serveOn("tcp", *listen); err != nil {
+			return err
+		}
+	}
+	if *unixSock != "" {
+		if err := serveOn("unix", *unixSock); err != nil {
+			srv.Shutdown()
+			wg.Wait()
+			return err
+		}
+		defer os.Remove(*unixSock)
+	}
+
+	<-stop
+	fmt.Fprintln(stdout, "phasebeatd: shutting down")
+	srv.Shutdown()
+	wg.Wait()
+	serveMu.Lock()
+	defer serveMu.Unlock()
+	return serveErr
+}
+
+// runSelftest drives the load harness and turns its report card into an
+// exit status: every concurrent session must have delivered at least one
+// update, and when churn ran, the shard arenas must show slab reuse.
+func runSelftest(stdout io.Writer, reg *metrics.Registry, cfg fleet.HarnessConfig) error {
+	res, err := fleet.RunHarness(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, res.String())
+	if res.MinSessionUpdates == 0 {
+		return fmt.Errorf("selftest: a session delivered no update (min %d over %d sessions)",
+			res.MinSessionUpdates, res.Sessions)
+	}
+	if res.Updates < uint64(res.Sessions) {
+		return fmt.Errorf("selftest: %d updates over %d sessions", res.Updates, res.Sessions)
+	}
+	if cfg.ChurnFraction > 0 && res.Arena.Reuses == 0 {
+		return fmt.Errorf("selftest: churn recycled no arena slabs: %+v", res.Arena)
+	}
+	return nil
+}
+
+// buildLogger mirrors cmd/phasebeat's -log flag: empty is silent.
+func buildLogger(level string) (*slog.Logger, error) {
+	if level == "" {
+		return nil, nil
+	}
+	var l slog.Level
+	switch level {
+	case "debug":
+		l = slog.LevelDebug
+	case "info":
+		l = slog.LevelInfo
+	case "warn":
+		l = slog.LevelWarn
+	case "error":
+		l = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q", level)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: l})), nil
+}
+
+// serveMetrics exposes the registry and pprof on addr, on its own
+// goroutine for the life of the process.
+func serveMetrics(addr string, reg *metrics.Registry) (net.Listener, error) {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/metrics", reg)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics listener: %w", err)
+	}
+	go func() {
+		if err := http.Serve(ln, mux); err != nil && !errors.Is(err, net.ErrClosed) {
+			fmt.Fprintln(os.Stderr, "phasebeatd: metrics server:", err)
+		}
+	}()
+	return ln, nil
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"log/slog"
 	"math"
+	"runtime"
 	"sync"
 	"time"
 
@@ -12,11 +13,15 @@ import (
 	"phasebeat/internal/trace"
 )
 
-// UpdateObserver receives every Update the Monitor produces, before it is
-// handed to the consumer channel — the hook the explain flight recorder
-// uses to finalize a trace with the stride's Result and Health delta.
-// OnUpdate runs on the worker goroutine: keep it cheap, and never block.
-// Panics are recovered and counted in Health.ObserverPanics.
+// UpdateObserver receives every Update the Monitor emits — the hook the
+// explain flight recorder uses to finalize a trace with the stride's
+// Result and Health delta. The observer runs on the worker goroutine
+// immediately after the update has been committed to the consumer
+// channel, and never for an update suppressed by Close: the set of
+// observed updates is exactly the set of delivered ones, so a consumer
+// that drains Updates until it closes sees one update per OnUpdate call.
+// Keep it cheap, and never block. Panics are recovered and counted in
+// Health.ObserverPanics.
 type UpdateObserver interface {
 	OnUpdate(u Update)
 }
@@ -87,9 +92,9 @@ type MonitorConfig struct {
 	// quarantine/health counters. Nil (the default) disables metrics with
 	// zero overhead — no observer is attached and no clock is read.
 	Metrics *metrics.Registry
-	// UpdateObserver, when non-nil, is invoked with every Update on the
-	// worker goroutine before delivery (see the interface's contract).
-	// Nil (the default) adds no per-stride work.
+	// UpdateObserver, when non-nil, is invoked on the worker goroutine
+	// with every Update committed to the consumer channel (see the
+	// interface's contract). Nil (the default) adds no per-stride work.
 	UpdateObserver UpdateObserver
 	// Logger, when non-nil, receives structured events from the worker:
 	// gap resets and degraded strides at Warn, updates at Debug. Nil (the
@@ -220,12 +225,21 @@ func (m *Monitor) Dropped() uint64 { return m.health.dropped.Load() }
 // to call from any goroutine at any time, including after Close.
 func (m *Monitor) Health() Health { return m.health.snapshot() }
 
-// Ingest submits one packet and returns false after Close. Without
-// DropOnBacklog it blocks until the worker accepts the packet; with it,
-// Ingest never blocks — a full queue sheds its oldest packet instead.
+// Ingest submits one packet. Without DropOnBacklog it blocks until the
+// worker accepts the packet; with it, Ingest never blocks — a full queue
+// sheds its oldest packet instead.
+//
+// Post-Close semantics: Ingest deterministically returns false once Close
+// has taken effect — every call that starts after Close returns reports
+// false, and a call racing Close reports false whenever the packet can no
+// longer be guaranteed to reach the worker (the packet may then sit
+// unread in the queue; it is never silently half-accepted with a true
+// return). A false verdict during the race window is conservative: the
+// worker may in fact have consumed the packet before exiting.
 func (m *Monitor) Ingest(p trace.Packet) bool {
-	// Check for shutdown first: a closed stop channel and a free buffer
-	// slot would otherwise race in the select below.
+	// Stop-priority pre-check: a closed stop channel and a free buffer
+	// slot would otherwise race in the selects below, and a post-Close
+	// call must refuse even though the (dead) queue still has room.
 	select {
 	case <-m.stop:
 		return false
@@ -236,7 +250,7 @@ func (m *Monitor) Ingest(p trace.Packet) bool {
 		case <-m.stop:
 			return false
 		case m.in <- p:
-			return true
+			return m.ingestCommitted()
 		}
 	}
 	for {
@@ -244,7 +258,7 @@ func (m *Monitor) Ingest(p trace.Packet) bool {
 		case <-m.stop:
 			return false
 		case m.in <- p:
-			return true
+			return m.ingestCommitted()
 		default:
 		}
 		// Queue full: shed the oldest queued packet to make room for the
@@ -254,12 +268,35 @@ func (m *Monitor) Ingest(p trace.Packet) bool {
 		case <-m.in:
 			m.health.dropped.Add(1)
 		default:
+			// The worker raced us to the oldest packet; the queue will
+			// have room momentarily. Yield instead of spinning on two
+			// failing non-blocking selects.
+			runtime.Gosched()
 		}
 	}
 }
 
+// ingestCommitted re-checks stop after a won send: Close can close stop
+// between Ingest's pre-check and the send, and the worker may then have
+// exited without draining the queue, stranding the packet. Reporting
+// false whenever stop is already closed keeps the documented post-Close
+// guarantee airtight at the cost of an occasional conservative false for
+// a packet the worker did consume on its way out.
+func (m *Monitor) ingestCommitted() bool {
+	select {
+	case <-m.stop:
+		return false
+	default:
+		return true
+	}
+}
+
 // Close stops the worker and waits for it to exit. It is safe to call
-// multiple times.
+// multiple times. Close is a hard emission barrier: an update whose
+// delivery races Close is either fully committed (sent, observed,
+// counted) or fully suppressed — never observed without being delivered —
+// and after Close returns no further update is sent (the consumer may
+// still drain updates that were committed beforehand).
 func (m *Monitor) Close() {
 	m.closeOnce.Do(func() { close(m.stop) })
 	<-m.done
@@ -339,6 +376,15 @@ func (m *Monitor) run() {
 				Dropped: m.health.dropped.Load(),
 				Health:  m.health.snapshot(),
 			}
+			// The channel send is the commit point: deliver refuses (with
+			// stop observed at priority) once Close has begun, and the
+			// observer, logger, and updates counter account only committed
+			// updates — so a consumer draining to channel close sees
+			// exactly the updates the observer saw, with no "±1 final
+			// update" race against Close.
+			if !m.deliver(u) {
+				return
+			}
 			if m.cfg.UpdateObserver != nil {
 				m.notifyUpdate(u)
 			}
@@ -349,9 +395,6 @@ func (m *Monitor) run() {
 				lastHealth = u.Health
 				logger.Debug("update", "time", u.Time,
 					"breathing_bpm", breathingBPM(u.Result), "err", err)
-			}
-			if !m.deliver(u) {
-				return
 			}
 			m.metrics.updates.Inc()
 		}
@@ -383,11 +426,22 @@ func breathingBPM(res *Result) float64 {
 	return res.Breathing.RateBPM
 }
 
-// deliver hands one update to the consumer. In drop-on-backlog mode a
-// stale undelivered update is replaced by the new one instead of blocking
-// the worker; every replacement is counted in Health.UpdatesReplaced so a
-// slow consumer can tell estimates went missing.
+// deliver hands one update to the consumer, or refuses it when the
+// monitor is stopping. Stop is observed with priority before any send is
+// attempted, making Close a hard barrier: once the worker sees stop, no
+// further update is committed (and the run loop then skips the observer
+// and the updates counter too, keeping emitted == observed exact).
+//
+// In drop-on-backlog mode a stale undelivered update is replaced by the
+// new one instead of blocking the worker; every replacement is counted in
+// Health.UpdatesReplaced so a slow consumer can tell estimates went
+// missing.
 func (m *Monitor) deliver(u Update) bool {
+	select {
+	case <-m.stop:
+		return false
+	default:
+	}
 	if !m.cfg.DropOnBacklog {
 		select {
 		case m.updates <- u:
@@ -396,22 +450,33 @@ func (m *Monitor) deliver(u Update) bool {
 			return false
 		}
 	}
-	for {
-		select {
-		case <-m.stop:
-			return false
-		case m.updates <- u:
-			return true
-		default:
-		}
-		select {
-		case <-m.updates:
-			m.health.replaced.Add(1)
-			// The in-flight update's snapshot predates this replacement;
-			// refresh it so its Health accounts for the estimate it evicted.
-			u.Health.UpdatesReplaced = m.health.replaced.Load()
-		default:
-		}
+	// Fast path: room in the buffer.
+	select {
+	case m.updates <- u:
+		return true
+	case <-m.stop:
+		return false
+	default:
+	}
+	// Buffer full: evict the stale update to make room. The eviction can
+	// lose a race against the consumer's own receive — in which case the
+	// buffer is empty anyway — so either way there is room afterwards, and
+	// the worker is the only sender, so nothing can refill it behind our
+	// back. A single blocking select then commits the send without the
+	// evict-fails/retry-immediately spin the old loop burned a core on.
+	select {
+	case <-m.updates:
+		m.health.replaced.Add(1)
+		// The in-flight update's snapshot predates this replacement;
+		// refresh it so its Health accounts for the estimate it evicted.
+		u.Health.UpdatesReplaced = m.health.replaced.Load()
+	default:
+	}
+	select {
+	case m.updates <- u:
+		return true
+	case <-m.stop:
+		return false
 	}
 }
 

@@ -1,0 +1,17 @@
+//go:build linux
+
+package core
+
+import "syscall"
+
+// processCPUSeconds reports the process's cumulative user+system CPU time.
+func processCPUSeconds() (float64, bool) {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0, false
+	}
+	sec := func(tv syscall.Timeval) float64 {
+		return float64(tv.Sec) + float64(tv.Usec)/1e6
+	}
+	return sec(ru.Utime) + sec(ru.Stime), true
+}

@@ -1,0 +1,6 @@
+//go:build !linux
+
+package core
+
+// processCPUSeconds is unavailable off Linux; callers skip the CPU ceiling.
+func processCPUSeconds() (float64, bool) { return 0, false }

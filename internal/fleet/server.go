@@ -1,0 +1,312 @@
+package fleet
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"sync"
+	"time"
+
+	"phasebeat/internal/trace"
+)
+
+// MaxSubscribeWait caps a subscribe frame's long-poll wait so a peer
+// cannot park connections forever.
+const MaxSubscribeWait = 30 * time.Second
+
+// Server speaks the frame protocol over a net.Listener and routes into a
+// Manager. One goroutine per connection; each connection is a sequential
+// request/response stream (a subscriber typically dedicates a connection
+// to polling, while ingest connections stream frameIngest without
+// replies), so no per-connection writer goroutine is needed.
+type Server struct {
+	mgr *Manager
+	log *slog.Logger
+
+	mu        sync.Mutex
+	listeners []net.Listener
+	conns     map[net.Conn]struct{}
+	done      chan struct{}
+}
+
+// NewServer returns a server routing into mgr. logger may be nil.
+func NewServer(mgr *Manager, logger *slog.Logger) *Server {
+	return &Server{
+		mgr:   mgr,
+		log:   logger,
+		conns: make(map[net.Conn]struct{}),
+		done:  make(chan struct{}),
+	}
+}
+
+// Serve accepts connections until the listener is closed (by Shutdown or
+// externally). It returns nil on clean shutdown. A server can Serve
+// several listeners concurrently (TCP and a unix socket, say), one call
+// per goroutine.
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	s.listeners = append(s.listeners, lis)
+	s.mu.Unlock()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return nil
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// Shutdown stops accepting, closes every live connection, and leaves the
+// Manager untouched (the daemon owns its lifecycle).
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	select {
+	case <-s.done:
+	default:
+		close(s.done)
+	}
+	listeners := append([]net.Listener(nil), s.listeners...)
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, l := range listeners {
+		l.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// serveConn runs one connection's frame loop. A protocol error (hostile
+// length, bad shape, unknown type) is answered with a frameError when
+// possible and always drops the connection — a peer that desynchronizes
+// the stream cannot be re-synchronized.
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	r := bufio.NewReaderSize(conn, 64<<10)
+	w := bufio.NewWriterSize(conn, 32<<10)
+	var buf []byte
+	for {
+		typ, payload, err := readFrame(r, buf)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && s.log != nil {
+				s.log.Debug("connection dropped", "remote", conn.RemoteAddr(), "err", err)
+			}
+			if errors.Is(err, ErrBadFrame) {
+				s.reply(w, frameError, []byte(err.Error()))
+			}
+			return
+		}
+		buf = payload[:0]
+		if err := s.handleFrame(w, typ, payload); err != nil {
+			if s.log != nil {
+				s.log.Debug("frame rejected", "remote", conn.RemoteAddr(), "err", err)
+			}
+			s.reply(w, frameError, []byte(err.Error()))
+			return
+		}
+	}
+}
+
+// reply writes one frame and flushes, ignoring write errors (the read
+// loop notices the dead connection).
+func (s *Server) reply(w *bufio.Writer, typ byte, payload []byte) {
+	if writeFrame(w, typ, payload) == nil {
+		w.Flush()
+	}
+}
+
+// handleFrame dispatches one decoded frame. Returned errors are fatal to
+// the connection; per-request failures that leave the stream well-formed
+// (duplicate open, unknown session) are answered with frameError inline
+// and return nil.
+func (s *Server) handleFrame(w *bufio.Writer, typ byte, payload []byte) error {
+	switch typ {
+	case frameOpen:
+		req, err := decodeOpen(payload)
+		if err != nil {
+			return err
+		}
+		if _, err := s.mgr.Open(req.Key, req.Session); err != nil {
+			s.reply(w, frameError, []byte(err.Error()))
+			return nil
+		}
+		s.reply(w, frameOK, appendKey(nil, req.Key))
+		return nil
+	case frameIngest:
+		key, pkt, err := decodeIngest(payload)
+		if err != nil {
+			return err
+		}
+		// Fire-and-forget: ingest frames get no reply, so one connection
+		// can stream packets at line rate. Routing misses surface in
+		// fleet.unrouted.
+		return s.mgr.Ingest(key, pkt)
+	case frameClose:
+		key, err := decodeClose(payload)
+		if err != nil {
+			return err
+		}
+		if _, err := s.mgr.CloseSession(key); err != nil {
+			s.reply(w, frameError, []byte(err.Error()))
+			return nil
+		}
+		s.reply(w, frameOK, appendKey(nil, key))
+		return nil
+	case frameSubscribe:
+		req, err := decodeSubscribe(payload)
+		if err != nil {
+			return err
+		}
+		sess, ok := s.mgr.Get(req.Key)
+		if !ok {
+			s.reply(w, frameError, []byte(fmt.Sprintf("%v: %q", ErrUnknownSession, req.Key)))
+			return nil
+		}
+		wait := time.Duration(req.WaitMillis) * time.Millisecond
+		if wait > MaxSubscribeWait {
+			wait = MaxSubscribeWait
+		}
+		snap, ok := sess.Wait(req.Since, wait)
+		if !ok {
+			// No newer update within the window: an empty OK lets the
+			// subscriber poll again with the same cursor.
+			s.reply(w, frameOK, appendKey(nil, req.Key))
+			return nil
+		}
+		s.reply(w, frameUpdate, encodeUpdate(snapshotFrame(req.Key, snap)))
+		return nil
+	default:
+		return fmt.Errorf("%w: unknown frame type 0x%02x", ErrBadFrame, typ)
+	}
+}
+
+// Client is a minimal frame-protocol client used by the daemon's
+// self-test and the package tests; it is also the reference
+// implementation for external feeders. Not safe for concurrent use.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+	buf  []byte
+}
+
+// Dial connects to a phasebeatd endpoint ("tcp", "unix").
+func Dial(network, addr string) (*Client, error) {
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		conn: conn,
+		r:    bufio.NewReaderSize(conn, 64<<10),
+		w:    bufio.NewWriterSize(conn, 32<<10),
+	}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one frame and reads one reply.
+func (c *Client) roundTrip(typ byte, payload []byte) (byte, []byte, error) {
+	if err := writeFrame(c.w, typ, payload); err != nil {
+		return 0, nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return 0, nil, err
+	}
+	rtyp, rp, err := readFrame(c.r, c.buf)
+	if err != nil {
+		return 0, nil, err
+	}
+	c.buf = rp[:0]
+	return rtyp, rp, nil
+}
+
+// expectOK runs a round trip that must answer frameOK.
+func (c *Client) expectOK(typ byte, payload []byte) error {
+	rtyp, rp, err := c.roundTrip(typ, payload)
+	if err != nil {
+		return err
+	}
+	switch rtyp {
+	case frameOK:
+		return nil
+	case frameError:
+		return fmt.Errorf("fleet: server error: %s", rp)
+	default:
+		return fmt.Errorf("%w: unexpected reply type 0x%02x", ErrBadFrame, rtyp)
+	}
+}
+
+// Open opens a session.
+func (c *Client) Open(key string, sc SessionConfig) error {
+	return c.expectOK(frameOpen, encodeOpen(key, sc))
+}
+
+// CloseSession closes a session.
+func (c *Client) CloseSession(key string) error {
+	return c.expectOK(frameClose, encodeClose(key))
+}
+
+// Ingest streams one packet. Ingest frames have no reply, so errors here
+// are transport errors only; routing failures surface in fleet.unrouted
+// and the session's own Health.
+func (c *Client) Ingest(key string, p trace.Packet) error {
+	payload, err := encodeIngest(key, p)
+	if err != nil {
+		return err
+	}
+	if err := writeFrame(c.w, frameIngest, payload); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// Subscribe long-polls for an update newer than since. ok is false when
+// the wait elapsed without one (poll again with the same cursor).
+func (c *Client) Subscribe(key string, since uint64, wait time.Duration) (UpdateFrame, bool, error) {
+	ms := wait.Milliseconds()
+	if ms < 0 {
+		ms = 0
+	}
+	if ms > int64(MaxSubscribeWait.Milliseconds()) {
+		ms = MaxSubscribeWait.Milliseconds()
+	}
+	rtyp, rp, err := c.roundTrip(frameSubscribe, encodeSubscribe(key, since, uint32(ms)))
+	if err != nil {
+		return UpdateFrame{}, false, err
+	}
+	switch rtyp {
+	case frameUpdate:
+		uf, err := decodeUpdate(rp)
+		return uf, err == nil, err
+	case frameOK:
+		return UpdateFrame{}, false, nil
+	case frameError:
+		return UpdateFrame{}, false, fmt.Errorf("fleet: server error: %s", rp)
+	default:
+		return UpdateFrame{}, false, fmt.Errorf("%w: unexpected reply type 0x%02x", ErrBadFrame, rtyp)
+	}
+}

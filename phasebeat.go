@@ -92,8 +92,8 @@ type (
 	// StageMetricsObserver is a StageObserver recording per-stage latency
 	// histograms and error counters into a MetricsRegistry.
 	StageMetricsObserver = core.StageMetrics
-	// UpdateObserver receives every Monitor update before delivery — the
-	// hook the explain flight recorder rides on.
+	// UpdateObserver receives every delivered Monitor update — the hook
+	// the explain flight recorder rides on.
 	UpdateObserver = core.UpdateObserver
 	// ExplainConfig configures an ExplainRecorder; ExplainTrace is one
 	// pipeline run's per-stage explanation; FlightDump is the bundle the
