@@ -8,10 +8,11 @@ COVER_MIN_CORE ?= 80
 # `make check` is the PR gate: vet, build, race-enabled tests, a
 # one-iteration smoke pass over the performance benchmarks so a broken
 # benchmark fails fast without paying full measurement time, a bounded
-# run of the fleet daemon's self-test, and a gated coverage report over
-# the internal packages.
+# run of the fleet daemon's self-test, the same run again with the trace
+# store recording (append → seal → downsample → range-query round trip),
+# and a gated coverage report over the internal packages.
 .PHONY: check
-check: vet build race bench-smoke daemon-smoke cover
+check: vet build race bench-smoke daemon-smoke store-smoke cover
 
 .PHONY: vet
 vet:
@@ -49,7 +50,7 @@ cover:
 # panic or reject their own fixtures without paying measurement time.
 .PHONY: bench-smoke
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkPipelineProcess$$|BenchmarkMonitorStride$$|BenchmarkQuarantinePush$$|BenchmarkDWTDenoise$$|BenchmarkRootMUSIC$$|BenchmarkEstimateStage$$|BenchmarkStreamingCorrelationAppend$$|BenchmarkColumnarIngest$$|BenchmarkFleetDensity$$' -benchtime 1x ./internal/core ./internal/music ./internal/arena ./internal/fleet
+	$(GO) test -run '^$$' -bench 'BenchmarkPipelineProcess$$|BenchmarkMonitorStride$$|BenchmarkQuarantinePush$$|BenchmarkDWTDenoise$$|BenchmarkRootMUSIC$$|BenchmarkEstimateStage$$|BenchmarkStreamingCorrelationAppend$$|BenchmarkColumnarIngest$$|BenchmarkFleetDensity$$|BenchmarkStoreAppend$$|BenchmarkStoreRangeQuery$$' -benchtime 1x ./internal/core ./internal/music ./internal/arena ./internal/fleet ./internal/store
 
 # A small, bounded run of the fleet daemon's in-process load harness:
 # opens sessions over sharded arenas with mid-run churn, and exits
@@ -57,6 +58,16 @@ bench-smoke:
 .PHONY: daemon-smoke
 daemon-smoke:
 	$(GO) run ./cmd/phasebeatd -selftest -sessions 64 -seconds 12 -window 4 -stride 1 -churn 0.25
+
+# The daemon self-test with the tiered trace store recording every
+# session: exercises the full append → block-seal → downsample →
+# range-query round trip and exits non-zero unless the tier query was
+# answered without decoding a sealed block.
+.PHONY: store-smoke
+store-smoke:
+	dir=$$(mktemp -d) && trap 'rm -rf "$$dir"' EXIT && \
+	$(GO) run ./cmd/phasebeatd -selftest -sessions 8 -seconds 12 -window 4 -stride 1 -churn 0.25 \
+	  -store-dir "$$dir/store" -store-block-seconds 4
 
 # The columnar memory-layout benchmarks on their own, with allocation
 # stats — the report CI uploads as the columnar-bench artifact.

@@ -51,9 +51,10 @@ func main() {
 
 // defaultBench selects the tracked benchmarks: the two pipeline
 // throughput benchmarks, the per-packet quarantine, DWT and root-MUSIC
-// hot paths, the columnar-ingest microbenchmarks, and the fleet
-// daemon's session-density harness (sessions/core Extra metric).
-const defaultBench = "BenchmarkPipelineProcess$|BenchmarkMonitorStride$|BenchmarkQuarantinePush$|BenchmarkDWTDenoise$|BenchmarkRootMUSIC$|BenchmarkEstimateStage$|BenchmarkStreamingCorrelationAppend$|BenchmarkColumnarIngest$|BenchmarkFleetDensity$"
+// hot paths, the columnar-ingest microbenchmarks, the fleet daemon's
+// session-density harness (sessions/core Extra metric), and the trace
+// store's append and tier-query paths.
+const defaultBench = "BenchmarkPipelineProcess$|BenchmarkMonitorStride$|BenchmarkQuarantinePush$|BenchmarkDWTDenoise$|BenchmarkRootMUSIC$|BenchmarkEstimateStage$|BenchmarkStreamingCorrelationAppend$|BenchmarkColumnarIngest$|BenchmarkFleetDensity$|BenchmarkStoreAppend$|BenchmarkStoreRangeQuery$"
 
 // defaultStrictAllocs selects the zero-alloc hot paths whose allocs/op
 // is gated with zero tolerance against the baseline: warm columnar
@@ -68,7 +69,7 @@ const defaultStrictAllocs = "BenchmarkColumnarIngest|BenchmarkQuarantinePush$|Be
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
 	bench := fs.String("bench", defaultBench, "benchmark regex passed to go test -bench")
-	packages := fs.String("packages", "./internal/core ./internal/music ./internal/arena ./internal/fleet", "space-separated packages to benchmark")
+	packages := fs.String("packages", "./internal/core ./internal/music ./internal/arena ./internal/fleet ./internal/store", "space-separated packages to benchmark")
 	benchtime := fs.String("benchtime", "200ms", "per-benchmark measurement time (go test -benchtime)")
 	count := fs.Int("count", 1, "benchmark repetitions; the fastest run per benchmark is kept")
 	cpu := fs.String("cpu", "1", "go test -cpu list; pinned to 1 so benchmark names and serial latency are machine-stable (empty = go default)")
@@ -88,6 +89,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	var raw io.Reader
+	var runErr error
 	if *input != "" {
 		f, err := os.Open(*input)
 		if err != nil {
@@ -96,18 +98,20 @@ func run(args []string, stdout io.Writer) error {
 		defer f.Close()
 		raw = f
 	} else {
+		// A failing bench run still produced output up to the failure;
+		// keep it so the report below is written either way — the CI
+		// bench job uploads it with `if: always()`, and an absent file
+		// turns a diagnosable failure into an artifact warning.
 		text, err := runBenchmarks(*goBin, *bench, *benchtime, *cpu, *count, strings.Fields(*packages), stdout)
-		if err != nil {
-			return err
-		}
+		runErr = err
 		raw = strings.NewReader(text)
 	}
 	benches, err := benchfmt.Parse(raw)
 	if err != nil {
+		if runErr != nil {
+			return runErr
+		}
 		return err
-	}
-	if len(benches) == 0 {
-		return fmt.Errorf("no benchmark results parsed (regex %q)", *bench)
 	}
 	rep := &benchfmt.Report{
 		Schema:      benchfmt.Schema,
@@ -129,6 +133,12 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(stdout, "benchreport: %d benchmarks -> %s\n", len(rep.Benchmarks), path)
+	if runErr != nil {
+		return fmt.Errorf("%s written from partial output; %w", path, runErr)
+	}
+	if len(benches) == 0 {
+		return fmt.Errorf("no benchmark results parsed (regex %q)", *bench)
+	}
 
 	if *compare == "" {
 		return nil
@@ -166,8 +176,10 @@ func run(args []string, stdout io.Writer) error {
 	return nil
 }
 
-// runBenchmarks shells out to go test and returns its combined textual
-// output, echoing it to w so CI logs keep the raw numbers.
+// runBenchmarks shells out to go test and returns its textual output,
+// echoing it to w so CI logs keep the raw numbers. On failure the output
+// captured so far is returned alongside the error — partial results are
+// still worth a report.
 func runBenchmarks(goBin, bench, benchtime, cpu string, count int, pkgs []string, w io.Writer) (string, error) {
 	if len(pkgs) == 0 {
 		return "", errors.New("no packages to benchmark")
@@ -185,7 +197,7 @@ func runBenchmarks(goBin, bench, benchtime, cpu string, count int, pkgs []string
 	cmd.Stdout = io.MultiWriter(&sb, w)
 	cmd.Stderr = os.Stderr
 	if err := cmd.Run(); err != nil {
-		return "", fmt.Errorf("go test -bench: %w", err)
+		return sb.String(), fmt.Errorf("go test -bench: %w", err)
 	}
 	return sb.String(), nil
 }

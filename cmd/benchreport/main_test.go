@@ -134,3 +134,41 @@ func TestNoResultsIsAnError(t *testing.T) {
 		t.Fatal("want error when no benchmarks parse")
 	}
 }
+
+// TestFailingBenchRunStillWritesReport pins the CI contract for a broken
+// benchmark: the run fails (so the gate trips) but the report is written
+// from whatever output the run produced first, because the bench job
+// uploads it with `if: always()` and an absent file downgrades a
+// diagnosable failure to an artifact warning.
+func TestFailingBenchRunStillWritesReport(t *testing.T) {
+	dir := t.TempDir()
+	fake := filepath.Join(dir, "fakego")
+	script := "#!/bin/sh\n" +
+		"echo 'BenchmarkStoreAppend-8   100   12000 ns/op   8346 B/op   1 allocs/op'\n" +
+		"echo 'panic: benchmark exploded' >&2\n" +
+		"exit 1\n"
+	if err := os.WriteFile(fake, []byte(script), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "BENCH_ci.json")
+	var buf bytes.Buffer
+	err := run([]string{"-go", fake, "-out", out}, &buf)
+	if err == nil {
+		t.Fatal("want the bench failure propagated")
+	}
+	if errors.Is(err, errRegression) {
+		t.Fatalf("bench failure must be an operational error (exit 2), got gate error: %v", err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatalf("report missing after failed run: %v", err)
+	}
+	defer f.Close()
+	rep, err := benchfmt.Decode(f)
+	if err != nil {
+		t.Fatalf("report not decodable: %v", err)
+	}
+	if len(rep.Benchmarks) != 1 || rep.Benchmarks[0].Name != "BenchmarkStoreAppend-8" {
+		t.Fatalf("partial results not kept: %+v", rep.Benchmarks)
+	}
+}

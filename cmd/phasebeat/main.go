@@ -40,6 +40,8 @@ func run(args []string) error {
 	persons := fs.Int("persons", 1, "monitored person count")
 	verbose := fs.Bool("verbose", false, "print pipeline diagnostics")
 	watch := fs.Float64("watch", 0, "realtime mode: stream a simulated scene for this many seconds, printing periodic estimates")
+	replayFrom := fs.String("replay-from", "", "watch mode: replay a stored session from a phasebeatd -store-dir archive through the Monitor instead of simulating")
+	replaySession := fs.String("replay-session", "", "replay mode: session key to replay (default: the archive's only session)")
 	faultLoss := fs.Float64("fault-loss", 0, "watch mode: per-packet probability of a ~1s packet-loss burst")
 	faultReorder := fs.Float64("fault-reorder", 0, "watch mode: per-packet probability of delivering packets out of order")
 	faultNaN := fs.Float64("fault-nan", 0, "watch mode: per-packet probability of a NaN-corrupted CSI cell")
@@ -91,6 +93,10 @@ func run(args []string) error {
 		}
 		defer ln.Close()
 		fmt.Fprintf(os.Stderr, "phasebeat: metrics at http://%s/debug/metrics\n", ln.Addr())
+	}
+
+	if *replayFrom != "" {
+		return replayStored(*replayFrom, *replaySession, reg, logger)
 	}
 
 	if *watch > 0 {
@@ -255,6 +261,68 @@ func readTraceFile(path string) (*phasebeat.Trace, error) {
 	}
 	defer f.Close()
 	return phasebeat.ReadTraceAuto(f)
+}
+
+// replayStored replays one session out of a phasebeatd -store-dir
+// archive through a fresh Monitor — the postmortem path. The Monitor is
+// rebuilt from the stored session metadata (sample rate, shape, window,
+// stride), so the replayed estimates reproduce what the daemon computed
+// live, minus any packets it shed under load.
+func replayStored(dir, session string, reg *phasebeat.MetricsRegistry, logger *slog.Logger) error {
+	st, err := phasebeat.OpenTraceStore(phasebeat.TraceStoreConfig{
+		Dir:      dir,
+		ReadOnly: true,
+		Metrics:  reg,
+		Logger:   logger,
+	})
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	infos := st.Sessions()
+	if session == "" {
+		switch len(infos) {
+		case 0:
+			return fmt.Errorf("replay: no sessions in %s", dir)
+		case 1:
+			session = infos[0].Key
+		default:
+			keys := make([]string, len(infos))
+			for i, in := range infos {
+				keys[i] = in.Key
+			}
+			return fmt.Errorf("replay: %d sessions in %s, pick one with -replay-session: %s",
+				len(infos), dir, strings.Join(keys, ", "))
+		}
+	}
+	meta, err := st.Meta(session)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replaying %q: %.0f Hz, %d×%d CSI, window %.0fs, stride %.0fs\n",
+		session, meta.SampleRate, meta.NumAntennas, meta.NumSubcarriers,
+		meta.WindowSeconds, meta.StrideSeconds)
+	base := phasebeat.DefaultMonitorConfig()
+	base.Metrics = reg
+	base.Logger = logger
+	last, err := st.ReplayThroughMonitor(session, base)
+	if err != nil {
+		return err
+	}
+	if b := last.Result.Breathing; b != nil {
+		fmt.Printf("[%7.1fs] breathing %.2f bpm (method: %s)\n", last.Time, b.RateBPM, b.Method)
+	}
+	if h := last.Result.Heart; h != nil {
+		fmt.Printf("[%7.1fs] heart %.2f bpm (method: %s)\n", last.Time, h.RateBPM, h.Method)
+	}
+	if mp := last.Result.MultiPerson; mp != nil {
+		fmt.Printf("[%7.1fs] breathing rates (%s): %v bpm\n", last.Time, mp.Method, mp.RatesBPM)
+	}
+	if stored, ok := st.LastBPM(session); ok && last.Result.Breathing != nil {
+		fmt.Printf("stored live estimate: %.2f bpm (replay delta %+.3f)\n",
+			stored, last.Result.Breathing.RateBPM-stored)
+	}
+	return nil
 }
 
 // watchScene streams a simulated scene through a Monitor, printing each

@@ -29,9 +29,13 @@ import (
 	"os/signal"
 	"sync"
 	"syscall"
+	"time"
 
+	"phasebeat/internal/core"
 	"phasebeat/internal/fleet"
 	"phasebeat/internal/metrics"
+	"phasebeat/internal/store"
+	"phasebeat/internal/trace"
 )
 
 func main() {
@@ -58,6 +62,10 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 	sessionBuffer := fs.Int("session-buffer", 64, "per-session ingest buffer in packets before drop-on-backlog shedding")
 	metricsAddr := fs.String("metrics-addr", "", "serve fleet metrics (JSON at /debug/metrics, pprof at /debug/pprof/) on this address")
 	logLevel := fs.String("log", "", "structured logging to stderr at this level: debug, info, warn or error (empty = silent)")
+	storeDir := fs.String("store-dir", "", "archive every session into a tiered trace store rooted here (range queries at /store/* on -metrics-addr)")
+	storeMaxBytes := fs.Int64("store-max-bytes", 0, "store: evict oldest sealed blocks past this total size in bytes (0 = unlimited)")
+	storeBlockSeconds := fs.Float64("store-block-seconds", 60, "store: trace seconds per sealed block")
+	storeMaxAge := fs.Duration("store-max-age", 0, "store: evict sealed blocks older than this (0 = unlimited)")
 
 	selftest := fs.Bool("selftest", false, "run the in-process load harness and exit")
 	sessions := fs.Int("sessions", 1000, "selftest: concurrent session count")
@@ -78,9 +86,28 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 		return err
 	}
 	reg := metrics.NewRegistry()
+
+	// The store opens before the fleet and closes after it (defers run
+	// LIFO), so every session's final CloseSession lands on a live store.
+	var st *store.Store
+	if *storeDir != "" {
+		st, err = store.Open(store.Config{
+			Dir:          *storeDir,
+			BlockSeconds: *storeBlockSeconds,
+			MaxBytes:     *storeMaxBytes,
+			MaxAge:       *storeMaxAge,
+			Metrics:      reg,
+			Logger:       logger,
+		})
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+	}
+
 	var metricsLis net.Listener
 	if *metricsAddr != "" {
-		metricsLis, err = serveMetrics(*metricsAddr, reg)
+		metricsLis, err = serveMetrics(*metricsAddr, reg, st)
 		if err != nil {
 			return err
 		}
@@ -89,7 +116,7 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 	}
 
 	if *selftest {
-		return runSelftest(stdout, reg, fleet.HarnessConfig{
+		cfg := fleet.HarnessConfig{
 			Sessions:      *sessions,
 			Shards:        *shards,
 			Feeders:       *feeders,
@@ -101,11 +128,42 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 			ChurnFraction: *churn,
 			Seed:          *seed,
 			Metrics:       reg,
-		})
+		}
+		if st != nil {
+			cfg.Recorder = storeRecorder{st}
+		}
+		if err := runSelftest(stdout, reg, cfg); err != nil {
+			return err
+		}
+		if st != nil {
+			return verifyStore(stdout, st, reg, *storeBlockSeconds < *seconds)
+		}
+		return nil
 	}
 
 	if *listen == "" && *unixSock == "" {
 		return errors.New("nothing to do: need -listen or -unix (or -selftest)")
+	}
+
+	var rec fleet.Recorder
+	if st != nil {
+		rec = storeRecorder{st}
+		if *storeMaxAge > 0 {
+			// Age retention also has to fire for idle sessions that seal
+			// nothing; sweep on a timer for the life of the daemon.
+			go func() {
+				tick := time.NewTicker(time.Minute)
+				defer tick.Stop()
+				for {
+					select {
+					case <-stop:
+						return
+					case <-tick.C:
+						st.Sweep()
+					}
+				}
+			}()
+		}
 	}
 
 	mgr, err := fleet.New(fleet.Config{
@@ -114,6 +172,7 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 		SessionBuffer: *sessionBuffer,
 		Metrics:       reg,
 		Logger:        logger,
+		Recorder:      rec,
 	})
 	if err != nil {
 		return err
@@ -190,6 +249,79 @@ func runSelftest(stdout io.Writer, reg *metrics.Registry, cfg fleet.HarnessConfi
 	return nil
 }
 
+// storeRecorder adapts the tiered trace store to the fleet's Recorder
+// hook, mapping the effective session configuration onto store metadata.
+type storeRecorder struct {
+	st *store.Store
+}
+
+func (r storeRecorder) OpenSession(key string, sc fleet.SessionConfig) error {
+	return r.st.OpenSession(key, store.Meta{
+		SampleRate:     sc.SampleRate,
+		NumAntennas:    sc.NumAntennas,
+		NumSubcarriers: sc.NumSubcarriers,
+		WindowSeconds:  sc.WindowSeconds,
+		StrideSeconds:  sc.UpdateEverySeconds,
+		Persons:        sc.Persons,
+	})
+}
+
+func (r storeRecorder) AppendPacket(key string, p trace.Packet) error {
+	return r.st.AppendPacket(key, p)
+}
+
+func (r storeRecorder) AppendUpdate(key string, u core.Update) error {
+	return r.st.AppendUpdate(key, u)
+}
+
+func (r storeRecorder) CloseSession(key string) error {
+	return r.st.CloseSession(key)
+}
+
+// verifyStore is the selftest's store acceptance check: the harness run
+// must have archived every stream, a full-range tier query must answer
+// from downsample bins alone (no block reads), and when the block length
+// fits inside the run, at least one block must have sealed.
+func verifyStore(stdout io.Writer, st *store.Store, reg *metrics.Registry, expectSeals bool) error {
+	stats := st.Stats()
+	infos := st.Sessions()
+	if len(infos) == 0 {
+		return errors.New("selftest: store archived no sessions")
+	}
+	if expectSeals && stats.Seals == 0 {
+		return fmt.Errorf("selftest: store sealed no blocks (%+v)", stats)
+	}
+	key := infos[0].Key
+	tres, err := st.Range(key, 0, 0, "")
+	if err != nil {
+		return fmt.Errorf("selftest: store tier query: %w", err)
+	}
+	if len(tres.Wave) == 0 || tres.BlocksRead != 0 {
+		return fmt.Errorf("selftest: tier query returned %d bins reading %d blocks",
+			len(tres.Wave), tres.BlocksRead)
+	}
+	var tierHits uint64
+	for _, d := range store.DefaultTierSeconds {
+		tierHits += reg.Counter("store.tier.hits." + store.TierLabel(d)).Value()
+	}
+	if tierHits == 0 {
+		return errors.New("selftest: tier query advanced no store.tier.hits counter")
+	}
+	rres, err := st.Range(key, 0, 0, store.RawTier)
+	if err != nil {
+		return fmt.Errorf("selftest: store raw query: %w", err)
+	}
+	if len(rres.Samples) == 0 {
+		return errors.New("selftest: raw query returned no samples")
+	}
+	fmt.Fprintf(stdout,
+		"store: %d sessions, %d blocks (%d sealed, %d evicted), %d bytes; "+
+			"tier %s query: %d bins, 0 blocks read; raw query: %d samples, %d blocks read\n",
+		stats.Sessions, stats.Blocks, stats.Seals, stats.Evictions, stats.Bytes,
+		tres.Tier, len(tres.Wave), len(rres.Samples), rres.BlocksRead)
+	return nil
+}
+
 // buildLogger mirrors cmd/phasebeat's -log flag: empty is silent.
 func buildLogger(level string) (*slog.Logger, error) {
 	if level == "" {
@@ -211,11 +343,15 @@ func buildLogger(level string) (*slog.Logger, error) {
 	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: l})), nil
 }
 
-// serveMetrics exposes the registry and pprof on addr, on its own
-// goroutine for the life of the process.
-func serveMetrics(addr string, reg *metrics.Registry) (net.Listener, error) {
+// serveMetrics exposes the registry, pprof, and (when a store is
+// configured) the /store/* query API on addr, on its own goroutine for
+// the life of the process.
+func serveMetrics(addr string, reg *metrics.Registry, st *store.Store) (net.Listener, error) {
 	mux := http.NewServeMux()
 	mux.Handle("/debug/metrics", reg)
+	if st != nil {
+		st.RegisterHTTP(mux)
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

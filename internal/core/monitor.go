@@ -136,14 +136,16 @@ type Monitor struct {
 	cfg       MonitorConfig
 	processor *Processor
 
-	in      chan trace.Packet
-	updates chan Update
-	stop    chan struct{}
-	done    chan struct{}
+	in       chan trace.Packet
+	updates  chan Update
+	stop     chan struct{}
+	draining chan struct{}
+	done     chan struct{}
 
 	health    healthCounters
 	metrics   monitorMetrics
 	closeOnce sync.Once
+	drainOnce sync.Once
 }
 
 // NewMonitor validates the configuration and starts the worker goroutine.
@@ -207,6 +209,7 @@ func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
 	m.in = make(chan trace.Packet, cfg.IngestBuffer)
 	m.updates = make(chan Update, 1)
 	m.stop = make(chan struct{})
+	m.draining = make(chan struct{})
 	m.done = make(chan struct{})
 	m.metrics = m.registerMetrics(cfg.Metrics)
 	go m.run()
@@ -302,6 +305,27 @@ func (m *Monitor) Close() {
 	<-m.done
 }
 
+// Drain stops the worker after it has processed every packet already
+// queued by Ingest and delivered the resulting updates — unlike Close,
+// which abandons the queued backlog (up to IngestBuffer packets, the
+// tail of the stream). Replay and batch feeds use Drain so the final
+// strides are not silently lost.
+//
+// Callers must stop calling Ingest before Drain: a packet racing Drain
+// may or may not be processed (and, if the queue is full, its Ingest may
+// block until the post-drain stop makes it return false). The consumer
+// must keep receiving from Updates() until it closes — updates emitted
+// during the drain are delivered with the usual blocking send, so an
+// abandoned consumer would deadlock the drain. After Drain returns the
+// Monitor is closed.
+func (m *Monitor) Drain() {
+	m.drainOnce.Do(func() { close(m.draining) })
+	<-m.done
+	// Flip stop so post-drain Ingest refuses deterministically and a
+	// later Close is a no-op.
+	m.closeOnce.Do(func() { close(m.stop) })
+}
+
 // run is the worker loop: quarantine and push packets into the stride
 // engine and emit an update whenever a full window plus a stride of new
 // data is buffered.
@@ -313,92 +337,117 @@ func (m *Monitor) run() {
 	// On exit the window slabs go back to the configured arena so the
 	// next session of a shared-arena fleet reuses them (no-op unpooled).
 	defer engine.release()
-	logger := m.cfg.Logger
 	var lastHealth Health
 	for {
 		select {
 		case <-m.stop:
 			return
 		case p := <-m.in:
-			verdict, gapReset := engine.push(p)
-			switch verdict {
-			case pushMalformed:
-				m.health.malformed.Add(1)
-				if logger != nil {
-					logger.Debug("packet quarantined", "cause", "malformed", "time", p.Time)
-				}
-				continue
-			case pushNonFinite:
-				m.health.nonFinite.Add(1)
-				if logger != nil {
-					logger.Debug("packet quarantined", "cause", "non-finite", "time", p.Time)
-				}
-				continue
-			case pushNonMonotonic:
-				m.health.nonMonotonic.Add(1)
-				if logger != nil {
-					logger.Debug("packet quarantined", "cause", "non-monotonic", "time", p.Time)
-				}
-				continue
-			}
-			m.health.accepted.Add(1)
-			if gapReset {
-				m.health.gapResets.Add(1)
-				if logger != nil {
-					logger.Warn("gap reset: window discarded and re-anchored", "time", p.Time)
-				}
-			}
-			if !engine.ready() {
-				continue
-			}
-			// Time the stride only when a registry is wired; the disabled
-			// path reads no clock.
-			var t0 time.Time
-			if m.metrics.strideSeconds != nil {
-				t0 = time.Now()
-			}
-			res, err := engine.process()
-			if m.metrics.strideSeconds != nil {
-				m.metrics.strideSeconds.Observe(time.Since(t0).Seconds())
-			}
-			if engine.est != nil {
-				// Republish the stride engine's plain counters through
-				// the atomics so Health() and metrics gauges read them
-				// off the worker goroutine safely.
-				m.health.exactRefreshes.Store(engine.est.exactRefreshes)
-				m.health.trackerResets.Store(engine.est.trackerResets)
-				m.health.residualBits.Store(math.Float64bits(engine.est.lastResidual))
-			}
-			u := Update{
-				Time:    p.Time,
-				Result:  res,
-				Err:     err,
-				Dropped: m.health.dropped.Load(),
-				Health:  m.health.snapshot(),
-			}
-			// The channel send is the commit point: deliver refuses (with
-			// stop observed at priority) once Close has begun, and the
-			// observer, logger, and updates counter account only committed
-			// updates — so a consumer draining to channel close sees
-			// exactly the updates the observer saw, with no "±1 final
-			// update" race against Close.
-			if !m.deliver(u) {
+			if !m.handle(engine, p, &lastHealth) {
 				return
 			}
-			if m.cfg.UpdateObserver != nil {
-				m.notifyUpdate(u)
-			}
-			if logger != nil {
-				if delta := u.Health.Sub(lastHealth); delta.Degraded() {
-					logger.Warn("degraded stride", "time", u.Time, "delta", delta.String())
+		case <-m.draining:
+			// Drain: finish the already-queued backlog, then exit. Stop
+			// still wins so a concurrent Close cuts the drain short.
+			for {
+				select {
+				case <-m.stop:
+					return
+				case p := <-m.in:
+					if !m.handle(engine, p, &lastHealth) {
+						return
+					}
+				default:
+					return
 				}
-				lastHealth = u.Health
-				logger.Debug("update", "time", u.Time,
-					"breathing_bpm", breathingBPM(u.Result), "err", err)
 			}
-			m.metrics.updates.Inc()
 		}
 	}
+}
+
+// handle quarantines one packet, pushes it into the stride engine, and
+// emits an update when a stride completes. It returns false when the
+// worker should exit because Close refused the delivery.
+func (m *Monitor) handle(engine *strideEngine, p trace.Packet, lastHealth *Health) bool {
+	logger := m.cfg.Logger
+	verdict, gapReset := engine.push(p)
+	switch verdict {
+	case pushMalformed:
+		m.health.malformed.Add(1)
+		if logger != nil {
+			logger.Debug("packet quarantined", "cause", "malformed", "time", p.Time)
+		}
+		return true
+	case pushNonFinite:
+		m.health.nonFinite.Add(1)
+		if logger != nil {
+			logger.Debug("packet quarantined", "cause", "non-finite", "time", p.Time)
+		}
+		return true
+	case pushNonMonotonic:
+		m.health.nonMonotonic.Add(1)
+		if logger != nil {
+			logger.Debug("packet quarantined", "cause", "non-monotonic", "time", p.Time)
+		}
+		return true
+	}
+	m.health.accepted.Add(1)
+	if gapReset {
+		m.health.gapResets.Add(1)
+		if logger != nil {
+			logger.Warn("gap reset: window discarded and re-anchored", "time", p.Time)
+		}
+	}
+	if !engine.ready() {
+		return true
+	}
+	// Time the stride only when a registry is wired; the disabled
+	// path reads no clock.
+	var t0 time.Time
+	if m.metrics.strideSeconds != nil {
+		t0 = time.Now()
+	}
+	res, err := engine.process()
+	if m.metrics.strideSeconds != nil {
+		m.metrics.strideSeconds.Observe(time.Since(t0).Seconds())
+	}
+	if engine.est != nil {
+		// Republish the stride engine's plain counters through
+		// the atomics so Health() and metrics gauges read them
+		// off the worker goroutine safely.
+		m.health.exactRefreshes.Store(engine.est.exactRefreshes)
+		m.health.trackerResets.Store(engine.est.trackerResets)
+		m.health.residualBits.Store(math.Float64bits(engine.est.lastResidual))
+	}
+	u := Update{
+		Time:    p.Time,
+		Result:  res,
+		Err:     err,
+		Dropped: m.health.dropped.Load(),
+		Health:  m.health.snapshot(),
+	}
+	// The channel send is the commit point: deliver refuses (with
+	// stop observed at priority) once Close has begun, and the
+	// observer, logger, and updates counter account only committed
+	// updates — so a consumer draining to channel close sees
+	// exactly the updates the observer saw, with no "±1 final
+	// update" race against Close.
+	if !m.deliver(u) {
+		return false
+	}
+	if m.cfg.UpdateObserver != nil {
+		m.notifyUpdate(u)
+	}
+	if logger != nil {
+		if delta := u.Health.Sub(*lastHealth); delta.Degraded() {
+			logger.Warn("degraded stride", "time", u.Time, "delta", delta.String())
+		}
+		*lastHealth = u.Health
+		logger.Debug("update", "time", u.Time,
+			"breathing_bpm", breathingBPM(u.Result), "err", err)
+	}
+	m.metrics.updates.Inc()
+	return true
 }
 
 // notifyUpdate runs the configured UpdateObserver under recover: a panic

@@ -221,3 +221,50 @@ func TestDeliverSlowConsumerBoundedCPU(t *testing.T) {
 			used, wall, budget)
 	}
 }
+
+// TestDrainProcessesBacklog pins the Drain contract: every packet queued
+// before Drain is processed and every resulting stride update is
+// delivered, where Close would have abandoned the backlog. The buffer is
+// sized above the feed so the whole stream is still queued when Drain
+// starts — the worst case for Close, the defining case for Drain.
+func TestDrainProcessesBacklog(t *testing.T) {
+	cfg := allocTestConfig()
+	cfg.NumSubcarriers = 16
+	cfg.IngestBuffer = 1024
+	const n = 700 // 400-packet window + 6 full 50-packet strides
+	pkts := syntheticPackets(n, cfg.NumAntennas, cfg.NumSubcarriers, cfg.SampleRate)
+	m, err := NewMonitor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var updates []Update
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for u := range m.Updates() {
+			updates = append(updates, u)
+		}
+	}()
+	for _, p := range pkts {
+		if !m.Ingest(p) {
+			t.Fatal("Ingest refused before Drain")
+		}
+	}
+	m.Drain()
+	<-drained
+	if got := m.Health().Accepted; got != n {
+		t.Fatalf("Drain left packets unprocessed: accepted %d of %d", got, n)
+	}
+	if len(updates) != 7 {
+		t.Fatalf("got %d updates, want 7 (strides at packets 400, 450, ..., 700)", len(updates))
+	}
+	wantLast := pkts[n-1].Time
+	if got := updates[len(updates)-1].Time; got != wantLast {
+		t.Fatalf("final update at t=%v, want t=%v (the last queued packet)", got, wantLast)
+	}
+	if m.Ingest(pkts[0]) {
+		t.Fatal("Ingest accepted a packet after Drain")
+	}
+	m.Drain() // idempotent
+	m.Close() // no-op after Drain
+}

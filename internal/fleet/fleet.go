@@ -74,6 +74,35 @@ type Config struct {
 	Metrics *metrics.Registry
 	// Logger, when non-nil, receives session lifecycle events at Debug.
 	Logger *slog.Logger
+	// Recorder, when non-nil, receives a tee of every session's lifecycle,
+	// routed packets, and published updates — the hook phasebeatd uses to
+	// archive the fleet into the tiered trace store. Recording is
+	// best-effort: a Recorder error never fails the monitored stream, it
+	// is counted in fleet.record.errors and logged at Warn.
+	Recorder Recorder
+}
+
+// Recorder archives a fleet's traffic. Implementations must be safe for
+// concurrent use: packets arrive on shard goroutines, updates on session
+// drain goroutines, lifecycle calls on whatever goroutine drives the
+// Manager. The interface deliberately mirrors the tiered store's session
+// API without importing it, so the store package's own tests can drive a
+// fleet (an import in the other direction).
+type Recorder interface {
+	// OpenSession is called with the session's EFFECTIVE configuration —
+	// the Manager template with the open request's overrides applied —
+	// so a recorder replay can rebuild the exact Monitor the session ran
+	// with.
+	OpenSession(key string, sc SessionConfig) error
+	// AppendPacket receives every packet routed into the session's
+	// Monitor (before any backlog shedding). The recorder may retain the
+	// packet; fleet packets are never mutated after ingest.
+	AppendPacket(key string, p trace.Packet) error
+	// AppendUpdate receives every update published to subscribers.
+	AppendUpdate(key string, u core.Update) error
+	// CloseSession is called once the session's Monitor has fully
+	// drained, after its final AppendUpdate.
+	CloseSession(key string) error
 }
 
 // SessionConfig carries the per-session stream parameters from an open
@@ -110,6 +139,18 @@ type Manager struct {
 	wg        sync.WaitGroup
 
 	opened, closed atomic.Uint64
+	recordErrors   atomic.Uint64
+}
+
+// recordErr counts and logs a best-effort recording failure.
+func (m *Manager) recordErr(op, key string, err error) {
+	if err == nil {
+		return
+	}
+	m.recordErrors.Add(1)
+	if m.cfg.Logger != nil {
+		m.cfg.Logger.Warn("recorder error", "op", op, "key", key, "err", err)
+	}
 }
 
 // New validates cfg, builds the shards, and starts their goroutines.
@@ -140,6 +181,7 @@ func New(cfg Config) (*Manager, error) {
 	for i := range m.shards {
 		sh := &shard{
 			id:       i,
+			mgr:      m,
 			arena:    arena.New(),
 			sessions: make(map[string]*Session),
 			mailbox:  make(chan ingestMsg, cfg.MailboxDepth),
@@ -242,6 +284,18 @@ func (m *Manager) Open(key string, sc SessionConfig) (*Session, error) {
 	}
 	sh.sessions[key] = s
 	sh.mu.Unlock()
+	if rec := m.cfg.Recorder; rec != nil {
+		// The recorder sees the effective configuration, not the raw
+		// request, so replaying the archive rebuilds this exact Monitor.
+		m.recordErr("open", key, rec.OpenSession(key, SessionConfig{
+			SampleRate:         mc.SampleRate,
+			NumAntennas:        mc.NumAntennas,
+			NumSubcarriers:     mc.NumSubcarriers,
+			WindowSeconds:      mc.WindowSeconds,
+			UpdateEverySeconds: mc.UpdateEverySeconds,
+			Persons:            mc.Persons,
+		}))
+	}
 	go s.drain()
 	m.opened.Add(1)
 	if m.cfg.Logger != nil {
@@ -302,6 +356,11 @@ func (m *Manager) CloseSession(key string) (core.Health, error) {
 	sh.closedHealth = addHealth(sh.closedHealth, h)
 	sh.closedUpdates += s.Seq()
 	sh.mu.Unlock()
+	if rec := m.cfg.Recorder; rec != nil {
+		// After s.close() the drain pump has delivered its final
+		// AppendUpdate, so the recorder session seals complete.
+		m.recordErr("close", key, rec.CloseSession(key))
+	}
 	m.closed.Add(1)
 	if m.cfg.Logger != nil {
 		m.cfg.Logger.Debug("session closed", "key", key, "shard", sh.id)
@@ -329,6 +388,9 @@ func (m *Manager) Close() {
 				sh.closedHealth = addHealth(sh.closedHealth, h)
 				sh.closedUpdates += s.Seq()
 				sh.mu.Unlock()
+				if rec := m.cfg.Recorder; rec != nil {
+					m.recordErr("close", s.key, rec.CloseSession(s.key))
+				}
 				m.closed.Add(1)
 			}
 		}
@@ -416,6 +478,7 @@ func (m *Manager) register(reg *metrics.Registry) {
 	}
 	reg.RegisterFunc("fleet.ingested", ingested)
 	reg.RegisterFunc("fleet.unrouted", unrouted)
+	reg.RegisterFunc("fleet.record.errors", func() float64 { return float64(m.recordErrors.Load()) })
 	for _, sh := range m.shards {
 		sh := sh
 		prefix := fmt.Sprintf("fleet.shard.%d", sh.id)
@@ -459,6 +522,7 @@ type ingestMsg struct {
 // mailbox, the session map, and the arena its sessions share.
 type shard struct {
 	id    int
+	mgr   *Manager
 	arena *arena.Arena
 
 	mailbox chan ingestMsg
@@ -491,6 +555,9 @@ func (sh *shard) run() {
 			}
 			s.mon.Ingest(msg.pkt)
 			sh.ingested.Add(1)
+			if rec := sh.mgr.cfg.Recorder; rec != nil {
+				sh.mgr.recordErr("append", msg.key, rec.AppendPacket(msg.key, msg.pkt))
+			}
 		}
 	}
 }
@@ -574,6 +641,9 @@ func (s *Session) drain() {
 		close(s.wake)
 		s.wake = make(chan struct{})
 		s.mu.Unlock()
+		if rec := s.sh.mgr.cfg.Recorder; rec != nil {
+			s.sh.mgr.recordErr("update", s.key, rec.AppendUpdate(s.key, u))
+		}
 	}
 }
 

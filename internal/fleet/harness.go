@@ -44,6 +44,10 @@ type HarnessConfig struct {
 	Seed int64
 	// Metrics optionally receives the fleet gauges.
 	Metrics *metrics.Registry
+	// Recorder optionally tees the whole run into a trace archive (see
+	// Config.Recorder) — phasebeatd's selftest uses this to exercise the
+	// store end to end under churn.
+	Recorder Recorder
 }
 
 // HarnessResult is the load run's report card.
@@ -148,6 +152,7 @@ func RunHarness(cfg HarnessConfig) (HarnessResult, error) {
 		Shards:        cfg.Shards,
 		SessionBuffer: sessionBuffer,
 		Metrics:       cfg.Metrics,
+		Recorder:      cfg.Recorder,
 		Monitor: core.MonitorConfig{
 			Pipeline:           core.ConfigForRate(cfg.SampleRate),
 			Persons:            1,

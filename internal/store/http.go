@@ -1,0 +1,87 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// RegisterHTTP mounts the store's query API on mux, next to wherever the
+// caller serves /debug/metrics:
+//
+//	GET /store/sessions                                  session listing
+//	GET /store/range?session=K&from=F&to=T&tier=L        range query
+//
+// from/to are trace-time seconds (to empty or 0 = through newest); tier
+// is a tier label ("1s", "10s", "60s"), "raw", or empty for the cheapest
+// tier covering the span.
+func (s *Store) RegisterHTTP(mux *http.ServeMux) {
+	mux.HandleFunc("/store/sessions", s.handleSessions)
+	mux.HandleFunc("/store/range", s.handleRange)
+}
+
+func (s *Store) handleSessions(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	writeHTTPJSON(w, struct {
+		Sessions []SessionInfo `json:"sessions"`
+		Tiers    []string      `json:"tiers"`
+	}{s.Sessions(), s.tierLabels()})
+}
+
+func (s *Store) handleRange(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query()
+	key := q.Get("session")
+	if key == "" {
+		http.Error(w, "missing session parameter", http.StatusBadRequest)
+		return
+	}
+	from, err := parseTimeParam(q.Get("from"), 0)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad from: %v", err), http.StatusBadRequest)
+		return
+	}
+	to, err := parseTimeParam(q.Get("to"), 0)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad to: %v", err), http.StatusBadRequest)
+		return
+	}
+	res, err := s.Range(key, from, to, q.Get("tier"))
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrUnknownSession):
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	case errors.Is(err, ErrUnknownTier), errors.Is(err, ErrBadRange):
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeHTTPJSON(w, res)
+}
+
+func parseTimeParam(s string, def float64) (float64, error) {
+	if s == "" {
+		return def, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func writeHTTPJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// Encoding errors past the header are undeliverable; the truncated
+	// body is the signal.
+	_ = enc.Encode(v)
+}

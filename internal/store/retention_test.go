@@ -1,0 +1,262 @@
+package store
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"phasebeat/internal/metrics"
+)
+
+// TestRetentionByteBudget fills the store past the byte budget with
+// concurrent writers and verifies oldest-block eviction order plus
+// tier-index consistency after eviction.
+func TestRetentionByteBudget(t *testing.T) {
+	dir := t.TempDir()
+	reg := metrics.NewRegistry()
+	s, err := Open(Config{
+		Dir: dir, BlockSeconds: 1, MaxBytes: 20 << 10,
+		TierSeconds: []float64{1}, Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const writers = 4
+	keys := make([]string, writers)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		keys[w] = fmt.Sprintf("sess-%d", w)
+		if err := s.OpenSession(keys[w], testMeta); err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(key string, seed float64) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				tm := float64(i) / testMeta.SampleRate
+				if err := s.AppendPacket(key, mkPacket(tm, 2, 4, math.Sin(tm+seed))); err != nil {
+					t.Errorf("%s append %d: %v", key, i, err)
+					return
+				}
+			}
+		}(keys[w], float64(w))
+	}
+	wg.Wait()
+
+	if got := s.bytes.Load(); got > 20<<10 {
+		t.Fatalf("store holds %d bytes, budget 20KiB", got)
+	}
+	if ev := reg.Counter("store.evictions").Value(); ev == 0 {
+		t.Fatal("no evictions despite blowing the budget")
+	}
+
+	for _, key := range keys {
+		ss, err := s.session(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ss.mu.Lock()
+		blocks := append([]blockInfo(nil), ss.blocks...)
+		bins := append([]TierBin(nil), ss.tiers.series[0][seriesWave].bins...)
+		bufLen := len(ss.buf)
+		ss.mu.Unlock()
+
+		// Remaining blocks are contiguous and ascending: eviction only
+		// ever pops the session's oldest block.
+		for i := 1; i < len(blocks); i++ {
+			if blocks[i].seq != blocks[i-1].seq+1 {
+				t.Fatalf("%s: eviction skipped a block: seq %d then %d", key, blocks[i-1].seq, blocks[i].seq)
+			}
+		}
+		// Tier-index consistency: no bin may describe time before the
+		// oldest retained data.
+		if len(blocks) > 0 && len(bins) > 0 && bins[0].Start+1 <= blocks[0].t0 {
+			t.Fatalf("%s: tier bin at %v predates oldest block t0 %v", key, bins[0].Start, blocks[0].t0)
+		}
+		// On-disk files mirror the in-memory inventory.
+		entries, err := os.ReadDir(filepath.Join(dir, key))
+		if err != nil {
+			t.Fatal(err)
+		}
+		onDisk := 0
+		for _, e := range entries {
+			if strings.HasSuffix(e.Name(), ".pbgz") {
+				onDisk++
+			}
+		}
+		if onDisk != len(blocks) {
+			t.Fatalf("%s: %d block files on disk, inventory has %d", key, onDisk, len(blocks))
+		}
+		if len(blocks) == 0 && bufLen == 0 && len(bins) != 0 {
+			t.Fatalf("%s: tier bins survive with no data behind them", key)
+		}
+	}
+
+	// Queries after eviction still work and never fail on evicted spans.
+	for _, key := range keys {
+		if _, err := s.Range(key, 0, 0, "1s"); err != nil {
+			t.Fatalf("%s: post-eviction tier query: %v", key, err)
+		}
+		if _, err := s.Range(key, 0, 0, RawTier); err != nil {
+			t.Fatalf("%s: post-eviction raw query: %v", key, err)
+		}
+	}
+}
+
+// TestRetentionAge evicts by wall-clock seal age using a fake clock.
+func TestRetentionAge(t *testing.T) {
+	now := time.Unix(1000, 0)
+	var mu sync.Mutex
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	advance := func(d time.Duration) {
+		mu.Lock()
+		now = now.Add(d)
+		mu.Unlock()
+	}
+	reg := metrics.NewRegistry()
+	s, err := Open(Config{
+		Dir: t.TempDir(), BlockSeconds: 1, MaxAge: time.Hour,
+		TierSeconds: []float64{1}, Metrics: reg, Now: clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.OpenSession("k", testMeta); err != nil {
+		t.Fatal(err)
+	}
+	fill(t, s, "k", 0, 25) // two sealed blocks
+	ss, _ := s.session("k")
+	ss.mu.Lock()
+	sealed := len(ss.blocks)
+	ss.mu.Unlock()
+	if sealed != 2 {
+		t.Fatalf("sealed %d blocks, want 2", sealed)
+	}
+
+	advance(30 * time.Minute)
+	s.Sweep()
+	if ev := reg.Counter("store.evictions").Value(); ev != 0 {
+		t.Fatalf("evicted %d blocks before MaxAge", ev)
+	}
+
+	advance(31 * time.Minute)
+	s.Sweep()
+	ss.mu.Lock()
+	left := len(ss.blocks)
+	ss.mu.Unlock()
+	if left != 0 {
+		t.Fatalf("%d blocks survive past MaxAge", left)
+	}
+	if ev := reg.Counter("store.evictions").Value(); ev != 2 {
+		t.Fatalf("evictions = %d, want 2", ev)
+	}
+}
+
+// TestRetentionGlobalOrder checks that eviction picks the globally
+// oldest sealed block across sessions, not per-session round-robin.
+func TestRetentionGlobalOrder(t *testing.T) {
+	s, err := Open(Config{Dir: t.TempDir(), BlockSeconds: 1, TierSeconds: []float64{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Session a seals two blocks first, then session b seals two.
+	for _, key := range []string{"a", "b"} {
+		if err := s.OpenSession(key, testMeta); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fill(t, s, "a", 0, 25)
+	fill(t, s, "b", 0, 25)
+
+	// Shrink the budget after the fact and sweep: session a's blocks
+	// sealed earlier, so they must go first.
+	sa, _ := s.session("a")
+	sb, _ := s.session("b")
+	sa.mu.Lock()
+	aBytes := int64(0)
+	for _, bi := range sa.blocks {
+		aBytes += bi.bytes
+	}
+	sa.mu.Unlock()
+	s.cfg.MaxBytes = s.bytes.Load() - aBytes // room for all but a's blocks
+	s.Sweep()
+
+	sa.mu.Lock()
+	aLeft := len(sa.blocks)
+	sa.mu.Unlock()
+	sb.mu.Lock()
+	bLeft := len(sb.blocks)
+	sb.mu.Unlock()
+	if aLeft != 0 || bLeft != 2 {
+		t.Fatalf("after sweep: a has %d blocks, b has %d; want 0 and 2", aLeft, bLeft)
+	}
+}
+
+// TestRetentionSurvivesRestart: seal order is reconstructed from file
+// mtimes, so eviction order is stable across a restart.
+func TestRetentionSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir, BlockSeconds: 1, TierSeconds: []float64{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.OpenSession("old", testMeta); err != nil {
+		t.Fatal(err)
+	}
+	fill(t, s, "old", 0, 13)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Make "old"'s block visibly older than anything sealed later.
+	stale := time.Now().Add(-2 * time.Hour)
+	entries, _ := os.ReadDir(filepath.Join(dir, "old"))
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".pbgz") {
+			os.Chtimes(filepath.Join(dir, "old", e.Name()), stale, stale)
+		}
+	}
+
+	s2, err := Open(Config{Dir: dir, BlockSeconds: 1, TierSeconds: []float64{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if err := s2.OpenSession("new", testMeta); err != nil {
+		t.Fatal(err)
+	}
+	fill(t, s2, "new", 0, 13)
+
+	so, _ := s2.session("old")
+	sn, _ := s2.session("new")
+	so.mu.Lock()
+	oldBytes := int64(0)
+	for _, bi := range so.blocks {
+		oldBytes += bi.bytes
+	}
+	so.mu.Unlock()
+	s2.cfg.MaxBytes = s2.bytes.Load() - oldBytes
+	s2.Sweep()
+
+	so.mu.Lock()
+	oLeft := len(so.blocks)
+	so.mu.Unlock()
+	sn.mu.Lock()
+	nLeft := len(sn.blocks)
+	sn.mu.Unlock()
+	if oLeft != 0 || nLeft == 0 {
+		t.Fatalf("after restart sweep: old has %d blocks, new has %d; want old evicted first", oLeft, nLeft)
+	}
+}

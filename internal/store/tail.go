@@ -1,0 +1,200 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"phasebeat/internal/trace"
+)
+
+// The tail log is the store's crash-durability layer for the not-yet-
+// sealed block: every accepted packet is appended to tail.pblog (and
+// flushed to the kernel) before it lands in the in-memory block buffer.
+// Sealed blocks and the tier index are written with tmp+rename and are
+// therefore never partial; the tail is the only file a kill can truncate
+// mid-record, so its format is built for truncation — a fixed-size
+// header followed by fixed-size packet records, letting recovery keep
+// every complete record and discard at most the torn one at the end.
+//
+//	header: magic "PBTL" | uint16 version | float64 rate |
+//	        uint16 antennas | uint16 subcarriers
+//	record: float64 time | antennas×subcarriers × (float64 re, float64 im)
+const (
+	tailMagic   = "PBTL"
+	tailVersion = 1
+	// Shape bounds mirror the fleet frame parser: recovery refuses to
+	// size records from a corrupt header.
+	maxTailAntennas    = 16
+	maxTailSubcarriers = 256
+)
+
+// ErrBadTail reports a tail log whose header is unusable (a truncated
+// record body is not an error — it is the expected crash artifact).
+var ErrBadTail = errors.New("store: bad tail log")
+
+// tailWriter appends packet records to the session's tail log.
+type tailWriter struct {
+	f    *os.File
+	bw   *bufio.Writer
+	ants int
+	subs int
+}
+
+// newTailWriter truncates path and writes a fresh header.
+func newTailWriter(path string, rate float64, ants, subs int) (*tailWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	tw := &tailWriter{f: f, bw: bufio.NewWriter(f), ants: ants, subs: subs}
+	if _, err := tw.bw.WriteString(tailMagic); err != nil {
+		f.Close()
+		return nil, err
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint16(b[:2], tailVersion)
+	if _, err := tw.bw.Write(b[:2]); err != nil {
+		f.Close()
+		return nil, err
+	}
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(rate))
+	if _, err := tw.bw.Write(b[:]); err != nil {
+		f.Close()
+		return nil, err
+	}
+	binary.LittleEndian.PutUint16(b[:2], uint16(ants))
+	binary.LittleEndian.PutUint16(b[2:4], uint16(subs))
+	if _, err := tw.bw.Write(b[:4]); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := tw.bw.Flush(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return tw, nil
+}
+
+// append writes one packet record and flushes it to the kernel. No fsync:
+// the durability target is surviving a killed process, not a powered-off
+// machine — phasebeatd's deployment contract (DESIGN §14).
+func (tw *tailWriter) append(p trace.Packet) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(p.Time))
+	if _, err := tw.bw.Write(b[:]); err != nil {
+		return err
+	}
+	for _, row := range p.CSI {
+		for _, c := range row {
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(real(c)))
+			if _, err := tw.bw.Write(b[:]); err != nil {
+				return err
+			}
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(imag(c)))
+			if _, err := tw.bw.Write(b[:]); err != nil {
+				return err
+			}
+		}
+	}
+	return tw.bw.Flush()
+}
+
+// reset truncates the log back to a fresh header — called after the
+// buffered packets it mirrored were sealed into a block.
+func (tw *tailWriter) reset(rate float64) error {
+	if err := tw.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := tw.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	tw.bw.Reset(tw.f)
+	if _, err := tw.bw.WriteString(tailMagic); err != nil {
+		return err
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint16(b[:2], tailVersion)
+	if _, err := tw.bw.Write(b[:2]); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(rate))
+	if _, err := tw.bw.Write(b[:]); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint16(b[:2], uint16(tw.ants))
+	binary.LittleEndian.PutUint16(b[2:4], uint16(tw.subs))
+	if _, err := tw.bw.Write(b[:4]); err != nil {
+		return err
+	}
+	return tw.bw.Flush()
+}
+
+func (tw *tailWriter) close() error {
+	if tw == nil {
+		return nil
+	}
+	err := tw.bw.Flush()
+	if cerr := tw.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// readTail decodes a tail log, keeping every complete packet record. A
+// torn trailing record is reported through partial=true, never as an
+// error; an unusable header is ErrBadTail and the whole tail is lost.
+func readTail(r io.Reader) (rate float64, pkts []trace.Packet, partial bool, err error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(tailMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return 0, nil, false, fmt.Errorf("%w: magic: %v", ErrBadTail, err)
+	}
+	if string(magic) != tailMagic {
+		return 0, nil, false, fmt.Errorf("%w: magic %q", ErrBadTail, magic)
+	}
+	var hdr [14]byte // version u16, rate f64, ants u16, subs u16
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return 0, nil, false, fmt.Errorf("%w: header: %v", ErrBadTail, err)
+	}
+	if v := binary.LittleEndian.Uint16(hdr[:2]); v != tailVersion {
+		return 0, nil, false, fmt.Errorf("%w: version %d (supported: %d)", ErrBadTail, v, tailVersion)
+	}
+	rate = math.Float64frombits(binary.LittleEndian.Uint64(hdr[2:10]))
+	ants := int(binary.LittleEndian.Uint16(hdr[10:12]))
+	subs := int(binary.LittleEndian.Uint16(hdr[12:14]))
+	if ants < 1 || ants > maxTailAntennas || subs < 1 || subs > maxTailSubcarriers {
+		return 0, nil, false, fmt.Errorf("%w: shape %d×%d outside [1, %d]×[1, %d]",
+			ErrBadTail, ants, subs, maxTailAntennas, maxTailSubcarriers)
+	}
+	recBytes := 8 + ants*subs*16
+	rec := make([]byte, recBytes)
+	for {
+		_, rerr := io.ReadFull(br, rec)
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			// Torn trailing record (or an I/O error mid-read): keep what
+			// decoded cleanly, flag the partial.
+			return rate, pkts, true, nil
+		}
+		p := trace.NewPacket(math.Float64frombits(binary.LittleEndian.Uint64(rec[:8])), ants, subs)
+		off := 8
+		for a := 0; a < ants; a++ {
+			row := p.CSI[a]
+			for s := 0; s < subs; s++ {
+				re := math.Float64frombits(binary.LittleEndian.Uint64(rec[off:]))
+				im := math.Float64frombits(binary.LittleEndian.Uint64(rec[off+8:]))
+				row[s] = complex(re, im)
+				off += 16
+			}
+		}
+		pkts = append(pkts, p)
+	}
+	return rate, pkts, false, nil
+}

@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadAuto drives the sniffing decoder — and through it all three
+// format readers — with hostile bytes. Any accepted trace must pass
+// Validate and survive a binary write/read round trip; everything else
+// must be rejected with an error, never a panic or a header-trusting
+// allocation (the hostile-count tests bound that separately).
+func FuzzReadAuto(f *testing.F) {
+	mk := func(n int) *Trace {
+		tr := &Trace{SampleRate: 30, NumAntennas: 2, NumSubcarriers: 3, CarrierHz: 5.32e9}
+		for i := 0; i < n; i++ {
+			p := NewPacket(float64(i)/30, 2, 3)
+			for a := range p.CSI {
+				for s := range p.CSI[a] {
+					p.CSI[a][s] = complex(float64(a+1), float64(s))
+				}
+			}
+			tr.Packets = append(tr.Packets, p)
+		}
+		return tr
+	}
+	var bin, gz, js bytes.Buffer
+	if err := Write(&bin, mk(3)); err != nil {
+		f.Fatal(err)
+	}
+	if err := WriteCompressed(&gz, mk(2)); err != nil {
+		f.Fatal(err)
+	}
+	if err := WriteJSON(&js, mk(1)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(bin.Bytes())
+	f.Add(gz.Bytes())
+	f.Add(js.Bytes())
+	f.Add(hostileHeader(3, 30, 0xFFFFFFFF))
+	f.Add([]byte(formatMagic))
+	f.Add([]byte{0x1f, 0x8b, 0x08, 0x00})
+	f.Add([]byte(`{"sample_rate":30}`))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadAuto(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("ReadAuto accepted a trace that fails Validate: %v", err)
+		}
+		var out bytes.Buffer
+		if err := Write(&out, tr); err != nil {
+			t.Fatalf("accepted trace does not re-encode: %v", err)
+		}
+		tr2, err := Read(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded trace does not decode: %v", err)
+		}
+		if len(tr2.Packets) != len(tr.Packets) {
+			t.Fatalf("round trip changed packet count: %d != %d", len(tr2.Packets), len(tr.Packets))
+		}
+	})
+}

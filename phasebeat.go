@@ -37,6 +37,7 @@ import (
 	"phasebeat/internal/csisim"
 	"phasebeat/internal/explain"
 	"phasebeat/internal/metrics"
+	"phasebeat/internal/store"
 	"phasebeat/internal/trace"
 )
 
@@ -136,6 +137,18 @@ type (
 	// comparison method [13].
 	BaselineConfig   = baseline.Config
 	BaselineEstimate = baseline.Estimate
+
+	// TraceStore is the tiered session trace store phasebeatd archives
+	// into: per-session gzip blocks with downsample tiers, retention, and
+	// crash recovery. TraceStoreConfig configures it; StoreMeta is a
+	// stored session's stream metadata; StoreSessionInfo, StoreRangeResult
+	// and StoreTierBin belong to its query API.
+	TraceStore       = store.Store
+	TraceStoreConfig = store.Config
+	StoreMeta        = store.Meta
+	StoreSessionInfo = store.SessionInfo
+	StoreRangeResult = store.RangeResult
+	StoreTierBin     = store.TierBin
 )
 
 // Environment detection states (paper Section III-B1).
@@ -310,6 +323,12 @@ func WriteTraceCompressed(w io.Writer, tr *Trace) error { return trace.WriteComp
 
 // WriteTraceJSON encodes a trace as JSON lines for consumption outside Go.
 func WriteTraceJSON(w io.Writer, tr *Trace) error { return trace.WriteJSON(w, tr) }
+
+// OpenTraceStore opens (or, unless read-only, creates) a tiered trace
+// store — the archive phasebeatd writes with -store-dir. Open it with
+// ReadOnly set to replay a daemon's store for a postmortem (see
+// TraceStore.ReplayThroughMonitor).
+func OpenTraceStore(cfg TraceStoreConfig) (*TraceStore, error) { return store.Open(cfg) }
 
 // DefaultBaselineConfig returns the amplitude method's defaults.
 func DefaultBaselineConfig() BaselineConfig { return baseline.DefaultConfig() }
