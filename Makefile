@@ -10,9 +10,10 @@ COVER_MIN_CORE ?= 80
 # benchmark fails fast without paying full measurement time, a bounded
 # run of the fleet daemon's self-test, the same run again with the trace
 # store recording (append → seal → downsample → range-query round trip),
-# and a gated coverage report over the internal packages.
+# an observability pass (spans + SLO burn + flight dump + /metrics
+# scrape), and a gated coverage report over the internal packages.
 .PHONY: check
-check: vet build race bench-smoke daemon-smoke store-smoke cover
+check: vet build race bench-smoke daemon-smoke store-smoke obs-smoke cover
 
 .PHONY: vet
 vet:
@@ -50,7 +51,7 @@ cover:
 # panic or reject their own fixtures without paying measurement time.
 .PHONY: bench-smoke
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkPipelineProcess$$|BenchmarkMonitorStride$$|BenchmarkQuarantinePush$$|BenchmarkDWTDenoise$$|BenchmarkRootMUSIC$$|BenchmarkEstimateStage$$|BenchmarkStreamingCorrelationAppend$$|BenchmarkColumnarIngest$$|BenchmarkFleetDensity$$|BenchmarkStoreAppend$$|BenchmarkStoreRangeQuery$$' -benchtime 1x ./internal/core ./internal/music ./internal/arena ./internal/fleet ./internal/store
+	$(GO) test -run '^$$' -bench 'BenchmarkPipelineProcess$$|BenchmarkMonitorStride$$|BenchmarkQuarantinePush$$|BenchmarkDWTDenoise$$|BenchmarkRootMUSIC$$|BenchmarkEstimateStage$$|BenchmarkStreamingCorrelationAppend$$|BenchmarkColumnarIngest$$|BenchmarkFleetDensity$$|BenchmarkStoreAppend$$|BenchmarkStoreRangeQuery$$|BenchmarkSpanIngestOverhead$$' -benchtime 1x ./internal/core ./internal/music ./internal/arena ./internal/fleet ./internal/store ./internal/otrace
 
 # A small, bounded run of the fleet daemon's in-process load harness:
 # opens sessions over sharded arenas with mid-run churn, and exits
@@ -68,6 +69,17 @@ store-smoke:
 	dir=$$(mktemp -d) && trap 'rm -rf "$$dir"' EXIT && \
 	$(GO) run ./cmd/phasebeatd -selftest -sessions 8 -seconds 12 -window 4 -stride 1 -churn 0.25 \
 	  -store-dir "$$dir/store" -store-block-seconds 4
+
+# The daemon self-test with end-to-end latency spans and an unmeetable
+# SLO target: every update breaches, the fast burn rate crosses 1, and
+# the run must retain spans, write exactly one slo-burn flight dump, and
+# serve the Prometheus exposition at /metrics — the whole observability
+# path in one bounded run.
+.PHONY: obs-smoke
+obs-smoke:
+	dir=$$(mktemp -d) && trap 'rm -rf "$$dir"' EXIT && \
+	$(GO) run ./cmd/phasebeatd -selftest -sessions 8 -seconds 12 -window 4 -stride 1 -churn 0.25 \
+	  -slo-target-ms 0.001 -span-sample 4 -flight-dir "$$dir/flight" -metrics-addr 127.0.0.1:0
 
 # The columnar memory-layout benchmarks on their own, with allocation
 # stats — the report CI uploads as the columnar-bench artifact.

@@ -52,9 +52,10 @@ func main() {
 // defaultBench selects the tracked benchmarks: the two pipeline
 // throughput benchmarks, the per-packet quarantine, DWT and root-MUSIC
 // hot paths, the columnar-ingest microbenchmarks, the fleet daemon's
-// session-density harness (sessions/core Extra metric), and the trace
-// store's append and tier-query paths.
-const defaultBench = "BenchmarkPipelineProcess$|BenchmarkMonitorStride$|BenchmarkQuarantinePush$|BenchmarkDWTDenoise$|BenchmarkRootMUSIC$|BenchmarkEstimateStage$|BenchmarkStreamingCorrelationAppend$|BenchmarkColumnarIngest$|BenchmarkFleetDensity$|BenchmarkStoreAppend$|BenchmarkStoreRangeQuery$"
+// session-density harness (sessions/core Extra metric), the trace
+// store's append and tier-query paths, and the latency tracer's
+// per-packet overhead (disabled and enabled).
+const defaultBench = "BenchmarkPipelineProcess$|BenchmarkMonitorStride$|BenchmarkQuarantinePush$|BenchmarkDWTDenoise$|BenchmarkRootMUSIC$|BenchmarkEstimateStage$|BenchmarkStreamingCorrelationAppend$|BenchmarkColumnarIngest$|BenchmarkFleetDensity$|BenchmarkStoreAppend$|BenchmarkStoreRangeQuery$|BenchmarkSpanIngestOverhead$"
 
 // defaultStrictAllocs selects the zero-alloc hot paths whose allocs/op
 // is gated with zero tolerance against the baseline: warm columnar
@@ -63,13 +64,14 @@ const defaultBench = "BenchmarkPipelineProcess$|BenchmarkMonitorStride$|Benchmar
 // but the gate must fail on 0 → 1). Benchmarks with small nonzero alloc
 // counts (the stride/pipeline runs) stay on the fractional gate — GC
 // timing refills their pools by a few allocs run to run, which strict
-// gating would misread as regressions.
-const defaultStrictAllocs = "BenchmarkColumnarIngest|BenchmarkQuarantinePush$|BenchmarkStreamingCorrelationAppend$"
+// gating would misread as regressions. The disabled-tracer span path is
+// part of the zero-overhead contract and is strict-gated too.
+const defaultStrictAllocs = "BenchmarkColumnarIngest|BenchmarkQuarantinePush$|BenchmarkStreamingCorrelationAppend$|BenchmarkSpanIngestOverhead/disabled"
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
 	bench := fs.String("bench", defaultBench, "benchmark regex passed to go test -bench")
-	packages := fs.String("packages", "./internal/core ./internal/music ./internal/arena ./internal/fleet ./internal/store", "space-separated packages to benchmark")
+	packages := fs.String("packages", "./internal/core ./internal/music ./internal/arena ./internal/fleet ./internal/store ./internal/otrace", "space-separated packages to benchmark")
 	benchtime := fs.String("benchtime", "200ms", "per-benchmark measurement time (go test -benchtime)")
 	count := fs.Int("count", 1, "benchmark repetitions; the fastest run per benchmark is kept")
 	cpu := fs.String("cpu", "1", "go test -cpu list; pinned to 1 so benchmark names and serial latency are machine-stable (empty = go default)")

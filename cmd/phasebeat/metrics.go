@@ -13,15 +13,17 @@ import (
 )
 
 // serveMetrics starts the observability endpoint on addr: the metrics
-// registry's JSON snapshot at /debug/metrics, the pprof handler set at
-// /debug/pprof/, and — when an explain recorder is wired — the last
-// explain trace at /debug/explain plus an on-demand flight dump at
-// /debug/flight. The server runs on its own goroutine for the life of
-// the process; the returned listener lets the caller report the bound
-// address (useful with ":0") and close the port.
+// registry's JSON snapshot at /debug/metrics and its Prometheus text
+// exposition at /metrics, the pprof handler set at /debug/pprof/, and —
+// when an explain recorder is wired — the last explain trace at
+// /debug/explain plus an on-demand flight dump at /debug/flight. The
+// server runs on its own goroutine for the life of the process; the
+// returned listener lets the caller report the bound address (useful
+// with ":0") and close the port.
 func serveMetrics(addr string, reg *phasebeat.MetricsRegistry, rec *phasebeat.ExplainRecorder) (net.Listener, error) {
 	mux := http.NewServeMux()
 	mux.Handle("/debug/metrics", reg)
+	mux.Handle("/metrics", reg.PrometheusHandler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -40,6 +40,20 @@ func TestServeMetricsEndpoint(t *testing.T) {
 		t.Fatalf("counter missing from snapshot: %v", snap)
 	}
 
+	// The same registry scrapes as Prometheus text at /metrics.
+	resp, err = http.Get(fmt.Sprintf("http://%s/metrics", ln.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: status %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "# TYPE test_counter counter\ntest_counter 3\n") {
+		t.Fatalf("/metrics exposition missing sanitized counter:\n%s", body)
+	}
+
 	resp, err = http.Get(fmt.Sprintf("http://%s/debug/pprof/", ln.Addr()))
 	if err != nil {
 		t.Fatal(err)

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -27,13 +28,17 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
 
 	"phasebeat/internal/core"
+	"phasebeat/internal/explain"
 	"phasebeat/internal/fleet"
 	"phasebeat/internal/metrics"
+	"phasebeat/internal/otrace"
 	"phasebeat/internal/store"
 	"phasebeat/internal/trace"
 )
@@ -66,6 +71,14 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 	storeMaxBytes := fs.Int64("store-max-bytes", 0, "store: evict oldest sealed blocks past this total size in bytes (0 = unlimited)")
 	storeBlockSeconds := fs.Float64("store-block-seconds", 60, "store: trace seconds per sealed block")
 	storeMaxAge := fs.Duration("store-max-age", 0, "store: evict sealed blocks older than this (0 = unlimited)")
+	sloTargetMS := fs.Float64("slo-target-ms", 0, "enable end-to-end latency spans with this ingest→update SLO target in ms (0 = tracing off)")
+	sloObjective := fs.Float64("slo-objective", 0.999, "fraction of updates that must meet -slo-target-ms")
+	sloFastWindow := fs.Duration("slo-fast-window", 5*time.Minute, "SLO fast (paging) burn-rate window")
+	sloSlowWindow := fs.Duration("slo-slow-window", time.Hour, "SLO slow (trend) burn-rate window")
+	spanSample := fs.Int("span-sample", 16, "retain one in every N spans (plus every slow span); negative = slow spans only")
+	spanSlowMS := fs.Float64("span-slow-ms", 250, "retain every span at least this slow, in ms; negative = head sampling only")
+	spanRing := fs.Int("spans", 256, "retained-span ring capacity served at /debug/spans")
+	flightDir := fs.String("flight-dir", "", "write an slo-burn flight dump (retained spans + burn report) into this directory when the SLO burns")
 
 	selftest := fs.Bool("selftest", false, "run the in-process load harness and exit")
 	sessions := fs.Int("sessions", 1000, "selftest: concurrent session count")
@@ -105,9 +118,52 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 		defer st.Close()
 	}
 
+	// Latency span tracing + SLO burn tracking: -slo-target-ms is the
+	// master switch; a nil tracer costs the fleet nothing (DESIGN §15).
+	var tracer *otrace.Tracer
+	if *sloTargetMS > 0 {
+		var flight *explain.Recorder
+		if *flightDir != "" {
+			flight, err = explain.NewRecorder(explain.Config{Dir: *flightDir, Logger: logger})
+			if err != nil {
+				return err
+			}
+		}
+		sloCfg := &otrace.SLOConfig{
+			Target:     time.Duration(*sloTargetMS * float64(time.Millisecond)),
+			Objective:  *sloObjective,
+			FastWindow: *sloFastWindow,
+			SlowWindow: *sloSlowWindow,
+		}
+		sloCfg.OnBurn = func(rep otrace.BurnReport) {
+			if logger != nil {
+				logger.Warn("slo burn",
+					"fast_burn", rep.FastBurn, "slow_burn", rep.SlowBurn,
+					"breaches", rep.Breaches, "updates", rep.Updates)
+			}
+			if flight == nil {
+				return
+			}
+			note, _ := json.Marshal(rep)
+			if _, err := flight.DumpSpans(explain.TriggerSLOBurn, tracer.Spans(), string(note)); err != nil && logger != nil {
+				logger.Error("slo-burn flight dump failed", "err", err)
+			}
+		}
+		tracer, err = otrace.New(otrace.Config{
+			SampleEvery:   *spanSample,
+			SlowThreshold: time.Duration(*spanSlowMS * float64(time.Millisecond)),
+			RingCapacity:  *spanRing,
+			SLO:           sloCfg,
+			Metrics:       reg,
+		})
+		if err != nil {
+			return err
+		}
+	}
+
 	var metricsLis net.Listener
 	if *metricsAddr != "" {
-		metricsLis, err = serveMetrics(*metricsAddr, reg, st)
+		metricsLis, err = serveMetrics(*metricsAddr, reg, st, tracer)
 		if err != nil {
 			return err
 		}
@@ -132,11 +188,17 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 		if st != nil {
 			cfg.Recorder = storeRecorder{st}
 		}
+		cfg.Tracer = tracer
 		if err := runSelftest(stdout, reg, cfg); err != nil {
 			return err
 		}
 		if st != nil {
-			return verifyStore(stdout, st, reg, *storeBlockSeconds < *seconds)
+			if err := verifyStore(stdout, st, reg, *storeBlockSeconds < *seconds); err != nil {
+				return err
+			}
+		}
+		if tracer != nil {
+			return verifySLO(stdout, tracer, *flightDir, metricsLis)
 		}
 		return nil
 	}
@@ -173,6 +235,7 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 		Metrics:       reg,
 		Logger:        logger,
 		Recorder:      rec,
+		Tracer:        tracer,
 	})
 	if err != nil {
 		return err
@@ -322,6 +385,74 @@ func verifyStore(stdout io.Writer, st *store.Store, reg *metrics.Registry, expec
 	return nil
 }
 
+// verifySLO is the selftest's observability acceptance check: the run
+// must have produced spans, and when the configured target was breached
+// hard enough to burn, the burn must be visible in the report and —
+// with a flight directory — have produced exactly one cooldown-limited
+// slo-burn dump. With a metrics listener up, the Prometheus exposition
+// must carry the slo gauges and span histograms.
+func verifySLO(stdout io.Writer, tracer *otrace.Tracer, flightDir string, lis net.Listener) error {
+	rep, ok := tracer.SLOReport()
+	if !ok {
+		return errors.New("selftest: tracer has no SLO report")
+	}
+	if tracer.Observed() == 0 {
+		return errors.New("selftest: tracer observed no spans")
+	}
+	if tracer.Retained() == 0 {
+		return errors.New("selftest: tracer retained no spans")
+	}
+	fmt.Fprintf(stdout,
+		"slo: target %.1fms objective %.4g — %d/%d updates breached, fast burn %.3g, slow burn %.3g; "+
+			"spans: %d observed, %d retained\n",
+		rep.TargetMS, rep.Objective, rep.Breaches, rep.Updates, rep.FastBurn, rep.SlowBurn,
+		tracer.Observed(), tracer.Retained())
+	if flightDir != "" && rep.FastBurn >= 1 && rep.SlowBurn >= 1 {
+		dumps, err := filepath.Glob(filepath.Join(flightDir, "*"+explain.TriggerSLOBurn+"*.json"))
+		if err != nil {
+			return err
+		}
+		// The selftest is far shorter than the default 5m cooldown, so a
+		// sustained burn must have dumped exactly once.
+		if len(dumps) != 1 {
+			return fmt.Errorf("selftest: %d slo-burn flight dumps, want exactly 1", len(dumps))
+		}
+		// The dump must carry at least the span that tipped the burn over
+		// (forced retention), even when head sampling skipped it.
+		data, err := os.ReadFile(dumps[0])
+		if err != nil {
+			return err
+		}
+		var dump struct {
+			Spans []otrace.SpanRecord `json:"spans"`
+		}
+		if err := json.Unmarshal(data, &dump); err != nil {
+			return fmt.Errorf("selftest: slo-burn dump unreadable: %w", err)
+		}
+		if len(dump.Spans) == 0 {
+			return errors.New("selftest: slo-burn dump carries no spans")
+		}
+		fmt.Fprintf(stdout, "slo: burn flight dump at %s (%d spans)\n", dumps[0], len(dump.Spans))
+	}
+	if lis != nil {
+		resp, err := http.Get("http://" + lis.Addr().String() + "/metrics")
+		if err != nil {
+			return fmt.Errorf("selftest: scrape /metrics: %w", err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("selftest: /metrics status %d err %v", resp.StatusCode, err)
+		}
+		for _, want := range []string{"fleet_slo_burn_fast", "fleet_span_total_seconds_bucket{le="} {
+			if !strings.Contains(string(body), want) {
+				return fmt.Errorf("selftest: /metrics exposition lacks %q", want)
+			}
+		}
+	}
+	return nil
+}
+
 // buildLogger mirrors cmd/phasebeat's -log flag: empty is silent.
 func buildLogger(level string) (*slog.Logger, error) {
 	if level == "" {
@@ -343,12 +474,15 @@ func buildLogger(level string) (*slog.Logger, error) {
 	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: l})), nil
 }
 
-// serveMetrics exposes the registry, pprof, and (when a store is
-// configured) the /store/* query API on addr, on its own goroutine for
-// the life of the process.
-func serveMetrics(addr string, reg *metrics.Registry, st *store.Store) (net.Listener, error) {
+// serveMetrics exposes the registry (JSON at /debug/metrics, Prometheus
+// text at /metrics), pprof, latency spans at /debug/spans (404 when
+// tracing is off), and — when a store is configured — the /store/*
+// query API on addr, on its own goroutine for the life of the process.
+func serveMetrics(addr string, reg *metrics.Registry, st *store.Store, tracer *otrace.Tracer) (net.Listener, error) {
 	mux := http.NewServeMux()
 	mux.Handle("/debug/metrics", reg)
+	mux.Handle("/metrics", reg.PrometheusHandler())
+	mux.Handle("/debug/spans", tracer)
 	if st != nil {
 		st.RegisterHTTP(mux)
 	}

@@ -1,0 +1,280 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"phasebeat/internal/csisim"
+	"phasebeat/internal/fleet"
+	"phasebeat/internal/metrics"
+	"phasebeat/internal/otrace"
+	"phasebeat/internal/store"
+)
+
+// metricNameRe is the fleet's metric naming contract: lowercase
+// dot-joined segments of [a-z0-9_]. Anything else — and in particular a
+// hyphen, the marker of an interpolated session key like "sess-0042" —
+// is a cardinality leak: per-session state belongs in tracker tables
+// (the SLO tenant map, the span ring), never in metric names.
+var metricNameRe = regexp.MustCompile(`^[a-z0-9_]+(\.[a-z0-9_]+)*$`)
+
+// TestMetricCardinalityStaysFlat runs the full csisim+fleet harness —
+// with churned session keys, the trace store and the latency tracer all
+// wired — and asserts every registered metric name obeys the flat
+// naming contract with no session-key material interpolated.
+func TestMetricCardinalityStaysFlat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load harness")
+	}
+	reg := metrics.NewRegistry()
+	st, err := store.Open(store.Config{Dir: t.TempDir(), BlockSeconds: 2, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	tracer, err := otrace.New(otrace.Config{
+		SampleEvery: 1,
+		Metrics:     reg,
+		SLO:         &otrace.SLOConfig{Target: 250 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fleet.RunHarness(fleet.HarnessConfig{
+		Sessions: 8, Shards: 2, Feeders: 2,
+		SampleRate: 30, Seconds: 12, WindowSeconds: 4, StrideSeconds: 1,
+		ChurnFraction: 0.25, Seed: 3,
+		Metrics:  reg,
+		Recorder: storeRecorder{st},
+		Tracer:   tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Updates == 0 || tracer.Observed() == 0 {
+		t.Fatalf("harness produced %d updates, %d spans — nothing to audit", res.Updates, tracer.Observed())
+	}
+
+	snap := reg.Snapshot()
+	if len(snap) == 0 {
+		t.Fatal("empty registry after a full harness run")
+	}
+	for name := range snap {
+		if !metricNameRe.MatchString(name) {
+			t.Errorf("metric %q violates the flat naming contract %s", name, metricNameRe)
+		}
+		// The harness keys are "sess-%04d" and "churn-%d-%d"; none of
+		// that material may reach a metric name.
+		if strings.Contains(name, "sess-") || strings.Contains(name, "churn-") {
+			t.Errorf("metric %q leaks a session key", name)
+		}
+	}
+	// The audit covered the whole surface: spans, slo, store and fleet
+	// families must all have been present.
+	for _, want := range []string{"fleet.span.total.seconds", "fleet.slo.burn.fast", "store.append.seconds"} {
+		if _, ok := snap[want]; !ok {
+			t.Errorf("expected family %q missing from audited snapshot", want)
+		}
+	}
+}
+
+// TestLiveHTTPEndpoints boots the real daemon (frame API + metrics
+// server + store + tracer), streams a session through the TCP front
+// door, and exercises every observability endpoint a live operator
+// would hit.
+func TestLiveHTTPEndpoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live daemon")
+	}
+	var out syncBuffer
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-listen", "127.0.0.1:0",
+			"-metrics-addr", "127.0.0.1:0",
+			"-store-dir", t.TempDir(),
+			"-slo-target-ms", "250",
+			"-span-sample", "1",
+			// Hold the whole test burst: shedding would punch timestamp
+			// gaps and re-anchor the window away from any update.
+			"-session-buffer", "1024",
+		}, &out, stop)
+	}()
+	defer func() {
+		close(stop)
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("daemon exit: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Error("daemon did not shut down")
+		}
+	}()
+
+	frameRe := regexp.MustCompile(`serving tcp on (\S+)`)
+	metricsRe := regexp.MustCompile(`metrics on http://(\S+)/debug/metrics`)
+	var frameAddr, metricsAddr string
+	deadline := time.Now().Add(10 * time.Second)
+	for frameAddr == "" || metricsAddr == "" {
+		if m := frameRe.FindStringSubmatch(out.String()); m != nil {
+			frameAddr = m[1]
+		}
+		if m := metricsRe.FindStringSubmatch(out.String()); m != nil {
+			metricsAddr = m[1]
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never reported its addresses:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	base := "http://" + metricsAddr
+
+	// Stream enough simulated CSI through the TCP front door for at
+	// least one update (4s window + 1s stride at 30 Hz).
+	rng := rand.New(rand.NewSource(11))
+	env := csisim.Environment{
+		CarrierHz:       csisim.DefaultCarrierHz,
+		AntennaSpacingM: csisim.DefaultAntennaSpacingM,
+		StaticPaths:     csisim.RandomStaticPaths(rng, 6, 3),
+		TxRxDistanceM:   3,
+	}
+	pathDist := 4.5
+	sim, err := csisim.New(csisim.Config{
+		Env:         env,
+		Persons:     []csisim.Person{csisim.RandomPerson(rng, pathDist, csisim.ReflectionGainForPath(pathDist, false))},
+		SampleRate:  30,
+		NumAntennas: 3,
+		Seed:        rng.Int63(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := fleet.Dial("tcp", frameAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Open("live", fleet.SessionConfig{
+		SampleRate: 30, NumAntennas: 3, NumSubcarriers: 16,
+		WindowSeconds: 4, UpdateEverySeconds: 1, Persons: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30*6; i++ {
+		p := sim.NextPacket()
+		// The simulator emits the full 30-subcarrier NIC report; the
+		// session was opened for 16 — slice like the load harness does.
+		rows := make([][]complex128, len(p.CSI))
+		for a, row := range p.CSI {
+			rows[a] = row[:16:16]
+		}
+		p.CSI = rows
+		if err := c.Ingest("live", p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pollDeadline := time.Now().Add(30 * time.Second)
+	for {
+		if _, ok, err := c.Subscribe("live", 0, 2*time.Second); err != nil {
+			t.Fatal(err)
+		} else if ok {
+			break
+		}
+		if time.Now().After(pollDeadline) {
+			t.Fatal("no update over the wire in 30s")
+		}
+	}
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return resp.StatusCode, body
+	}
+
+	// /debug/metrics: JSON snapshot carrying the tracer families.
+	code, body := get("/debug/metrics")
+	var snap map[string]any
+	if code != 200 || json.Unmarshal(body, &snap) != nil {
+		t.Fatalf("/debug/metrics: status %d, body %.120s", code, body)
+	}
+	for _, want := range []string{"fleet.slo.target_ms", "fleet.span.total.seconds", "store.append.seconds"} {
+		if _, ok := snap[want]; !ok {
+			t.Errorf("/debug/metrics lacks %q", want)
+		}
+	}
+
+	// /metrics: Prometheus text exposition of the same registry.
+	code, body = get("/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics: status %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE fleet_slo_target_ms gauge",
+		"fleet_span_total_seconds_bucket{le=",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics lacks %q", want)
+		}
+	}
+
+	// /debug/spans: the retained ring with live spans for our session.
+	code, body = get("/debug/spans")
+	var page struct {
+		Schema   string `json:"schema"`
+		Observed uint64 `json:"spans_observed"`
+		Spans    []struct {
+			Key string `json:"key"`
+		} `json:"spans"`
+	}
+	if code != 200 || json.Unmarshal(body, &page) != nil {
+		t.Fatalf("/debug/spans: status %d, body %.120s", code, body)
+	}
+	if page.Schema != otrace.SpansSchema || page.Observed == 0 || len(page.Spans) == 0 {
+		t.Fatalf("/debug/spans page empty: %+v", page)
+	}
+	if page.Spans[0].Key != "live" {
+		t.Errorf("/debug/spans span key %q, want live", page.Spans[0].Key)
+	}
+
+	// /store/sessions: the archived session listing.
+	code, body = get("/store/sessions")
+	if code != 200 || !strings.Contains(string(body), `"live"`) {
+		t.Fatalf("/store/sessions: status %d, body %.120s", code, body)
+	}
+
+	// /store/range: raw samples for the streamed session; a missing
+	// session parameter is a clean 400, not a mux miss.
+	if code, _ = get("/store/range"); code != 400 {
+		t.Errorf("/store/range without params: status %d, want 400", code)
+	}
+	code, body = get("/store/range?session=live&tier=raw")
+	var rres struct {
+		Samples []any `json:"samples"`
+	}
+	if code != 200 || json.Unmarshal(body, &rres) != nil {
+		t.Fatalf("/store/range: status %d, body %.120s", code, body)
+	}
+	if len(rres.Samples) == 0 {
+		t.Error("/store/range returned no raw samples for the streamed session")
+	}
+
+	if err := c.CloseSession("live"); err != nil {
+		t.Fatal(err)
+	}
+}

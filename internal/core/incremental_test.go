@@ -278,7 +278,7 @@ func TestMonitorSteadyStateAllocs(t *testing.T) {
 func TestMonitorDropOnBacklogSheds(t *testing.T) {
 	m := &Monitor{
 		cfg:     MonitorConfig{DropOnBacklog: true},
-		in:      make(chan trace.Packet, 2),
+		in:      make(chan inPacket, 2),
 		updates: make(chan Update, 1),
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
@@ -297,8 +297,8 @@ func TestMonitorDropOnBacklogSheds(t *testing.T) {
 	// The queue must hold the newest packets: 3 and 4.
 	first := <-m.in
 	second := <-m.in
-	if first.Time != 3 || second.Time != 4 {
-		t.Fatalf("queue kept packets at t=%v, t=%v; want t=3, t=4", first.Time, second.Time)
+	if first.pkt.Time != 3 || second.pkt.Time != 4 {
+		t.Fatalf("queue kept packets at t=%v, t=%v; want t=3, t=4", first.pkt.Time, second.pkt.Time)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 
 	"phasebeat/internal/arena"
 	"phasebeat/internal/metrics"
+	"phasebeat/internal/otrace"
 	"phasebeat/internal/trace"
 )
 
@@ -47,6 +48,12 @@ type Update struct {
 	// Health.Sub) to decide whether the estimate was computed from clean,
 	// continuous data.
 	Health Health
+	// Trace is the latency span context of the packet that completed
+	// this stride, with the ingest-queue and compute timestamps stamped
+	// (and the stride's per-stage timings attached when a Tracer is
+	// wired). Zero when the packet was not traced; the delivery layer
+	// (fleet.Session) closes the span at publish time.
+	Trace otrace.Ctx
 }
 
 // MonitorConfig configures a streaming Monitor.
@@ -96,6 +103,14 @@ type MonitorConfig struct {
 	// with every Update committed to the consumer channel (see the
 	// interface's contract). Nil (the default) adds no per-stride work.
 	UpdateObserver UpdateObserver
+	// Tracer, when non-nil, enables end-to-end latency spans: packets
+	// submitted through IngestCtx carry their trace context through the
+	// ingest queue, the worker stamps the dequeue and compute-end
+	// timestamps and attaches per-stage timings, and the context rides
+	// out on Update.Trace for the delivery layer to close. Nil (the
+	// default) reads no clock and allocates nothing — the same
+	// zero-overhead-when-disabled contract as Metrics.
+	Tracer *otrace.Tracer
 	// Logger, when non-nil, receives structured events from the worker:
 	// gap resets and degraded strides at Warn, updates at Debug. Nil (the
 	// default) is silent and adds no per-packet or per-stride work —
@@ -136,7 +151,7 @@ type Monitor struct {
 	cfg       MonitorConfig
 	processor *Processor
 
-	in       chan trace.Packet
+	in       chan inPacket
 	updates  chan Update
 	stop     chan struct{}
 	draining chan struct{}
@@ -144,8 +159,43 @@ type Monitor struct {
 
 	health    healthCounters
 	metrics   monitorMetrics
+	stageCap  *stageCapture
 	closeOnce sync.Once
 	drainOnce sync.Once
+}
+
+// inPacket is the ingest-queue element: the packet plus its latency
+// trace context (zero when untraced — the common case costs only the
+// extra struct bytes in the channel buffer, no clock reads).
+type inPacket struct {
+	pkt trace.Packet
+	ot  otrace.Ctx
+}
+
+// stageCapture bridges the StageObserver hooks into span child stages:
+// it records each stage's duration during a stride so the completed
+// span can decompose its compute segment. It is attached only when a
+// Tracer is configured, and touched only on the worker goroutine (reset
+// before each stride, snapshotted after), so it needs no lock.
+type stageCapture struct {
+	stages []otrace.Stage
+}
+
+// OnStageStart implements StageObserver.
+func (c *stageCapture) OnStageStart(string) {}
+
+// OnStageEnd implements StageObserver.
+func (c *stageCapture) OnStageEnd(s StageStats) {
+	c.stages = append(c.stages, otrace.Stage{Name: s.Stage, Nanos: s.Duration.Nanoseconds()})
+}
+
+func (c *stageCapture) reset() { c.stages = c.stages[:0] }
+
+func (c *stageCapture) snapshot() []otrace.Stage {
+	if len(c.stages) == 0 {
+		return nil
+	}
+	return append([]otrace.Stage(nil), c.stages...)
 }
 
 // NewMonitor validates the configuration and starts the worker goroutine.
@@ -181,6 +231,13 @@ func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
 	// below can point at its panic counter; every remaining field is
 	// filled in once the configuration is final.
 	m := &Monitor{}
+	// A configured tracer rides the same hooks: per-stage durations are
+	// captured during the stride and attached to the outgoing span as
+	// child stages.
+	if cfg.Tracer.Enabled() {
+		m.stageCap = &stageCapture{}
+		cfg.Pipeline.Observer = CombineObservers(cfg.Pipeline.Observer, m.stageCap)
+	}
 	// Third-party observers run on the worker goroutine; a panic in one
 	// must degrade observability, not kill the monitor. See safeObserver.
 	if cfg.Pipeline.Observer != nil {
@@ -206,7 +263,7 @@ func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
 	}
 	m.cfg = cfg
 	m.processor = proc
-	m.in = make(chan trace.Packet, cfg.IngestBuffer)
+	m.in = make(chan inPacket, cfg.IngestBuffer)
 	m.updates = make(chan Update, 1)
 	m.stop = make(chan struct{})
 	m.draining = make(chan struct{})
@@ -240,6 +297,14 @@ func (m *Monitor) Health() Health { return m.health.snapshot() }
 // return). A false verdict during the race window is conservative: the
 // worker may in fact have consumed the packet before exiting.
 func (m *Monitor) Ingest(p trace.Packet) bool {
+	return m.IngestCtx(p, otrace.Ctx{})
+}
+
+// IngestCtx is Ingest with a latency trace context attached: the
+// context rides the ingest queue with the packet and is stamped by the
+// worker. Semantics are identical to Ingest; a zero Ctx is untraced.
+func (m *Monitor) IngestCtx(p trace.Packet, ot otrace.Ctx) bool {
+	ip := inPacket{pkt: p, ot: ot}
 	// Stop-priority pre-check: a closed stop channel and a free buffer
 	// slot would otherwise race in the selects below, and a post-Close
 	// call must refuse even though the (dead) queue still has room.
@@ -252,7 +317,7 @@ func (m *Monitor) Ingest(p trace.Packet) bool {
 		select {
 		case <-m.stop:
 			return false
-		case m.in <- p:
+		case m.in <- ip:
 			return m.ingestCommitted()
 		}
 	}
@@ -260,7 +325,7 @@ func (m *Monitor) Ingest(p trace.Packet) bool {
 		select {
 		case <-m.stop:
 			return false
-		case m.in <- p:
+		case m.in <- ip:
 			return m.ingestCommitted()
 		default:
 		}
@@ -342,8 +407,8 @@ func (m *Monitor) run() {
 		select {
 		case <-m.stop:
 			return
-		case p := <-m.in:
-			if !m.handle(engine, p, &lastHealth) {
+		case ip := <-m.in:
+			if !m.handle(engine, ip, &lastHealth) {
 				return
 			}
 		case <-m.draining:
@@ -353,8 +418,8 @@ func (m *Monitor) run() {
 				select {
 				case <-m.stop:
 					return
-				case p := <-m.in:
-					if !m.handle(engine, p, &lastHealth) {
+				case ip := <-m.in:
+					if !m.handle(engine, ip, &lastHealth) {
 						return
 					}
 				default:
@@ -368,8 +433,14 @@ func (m *Monitor) run() {
 // handle quarantines one packet, pushes it into the stride engine, and
 // emits an update when a stride completes. It returns false when the
 // worker should exit because Close refused the delivery.
-func (m *Monitor) handle(engine *strideEngine, p trace.Packet, lastHealth *Health) bool {
+func (m *Monitor) handle(engine *strideEngine, ip inPacket, lastHealth *Health) bool {
 	logger := m.cfg.Logger
+	p := ip.pkt
+	// Stamp the queue-dwell boundary only for traced packets — the
+	// untraced path reads no clock (zero-overhead contract).
+	if ip.ot.Live() {
+		ip.ot.QueueDeq = otrace.Now()
+	}
 	verdict, gapReset := engine.push(p)
 	switch verdict {
 	case pushMalformed:
@@ -407,9 +478,18 @@ func (m *Monitor) handle(engine *strideEngine, p trace.Packet, lastHealth *Healt
 	if m.metrics.strideSeconds != nil {
 		t0 = time.Now()
 	}
+	if m.stageCap != nil {
+		m.stageCap.reset()
+	}
 	res, err := engine.process()
 	if m.metrics.strideSeconds != nil {
 		m.metrics.strideSeconds.Observe(time.Since(t0).Seconds())
+	}
+	if ip.ot.Live() {
+		ip.ot.ComputeEnd = otrace.Now()
+		if m.stageCap != nil {
+			ip.ot.Stages = m.stageCap.snapshot()
+		}
 	}
 	if engine.est != nil {
 		// Republish the stride engine's plain counters through
@@ -425,6 +505,7 @@ func (m *Monitor) handle(engine *strideEngine, p trace.Packet, lastHealth *Healt
 		Err:     err,
 		Dropped: m.health.dropped.Load(),
 		Health:  m.health.snapshot(),
+		Trace:   ip.ot,
 	}
 	// The channel send is the commit point: deliver refuses (with
 	// stop observed at priority) once Close has begun, and the

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"phasebeat/internal/core"
+	"phasebeat/internal/otrace"
 )
 
 // Schema identifiers embedded in every marshaled artifact, so consumers
@@ -110,14 +111,21 @@ type FlightDump struct {
 	// Schema is FlightSchema.
 	Schema string `json:"schema"`
 	// Trigger names the condition ("gap-reset", "quarantine-spike",
-	// "estimate-jump", "health-degraded", "manual").
+	// "estimate-jump", "health-degraded", "slo-burn", "manual").
 	Trigger string `json:"trigger"`
 	// Seq is the triggering trace's sequence number.
 	Seq uint64 `json:"seq"`
 	// WrittenAt is the wall-clock write time in RFC 3339 form.
 	WrittenAt string `json:"written_at"`
+	// Note carries free-form context from an external trigger (for the
+	// slo-burn trigger, the burn-rate summary at fire time).
+	Note string `json:"note,omitempty"`
 	// Entries holds the recorded traces, oldest first.
 	Entries []Entry `json:"entries"`
+	// Spans holds the latency tracer's retained span ring at dump time —
+	// attached by DumpSpans so an SLO burn bundle shows where the
+	// ingest→update time of the slowest packets went.
+	Spans []otrace.SpanRecord `json:"spans,omitempty"`
 }
 
 // maxSnapshotSamples bounds each stored series; longer series are

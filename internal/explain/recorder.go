@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"phasebeat/internal/core"
+	"phasebeat/internal/otrace"
 )
 
 // Config configures a Recorder. The zero value records 32 traces with
@@ -59,6 +60,7 @@ const (
 	TriggerEstimateJump     = "estimate-jump"
 	TriggerHealthDegraded   = "health-degraded"
 	TriggerSubspaceResidual = "subspace-residual"
+	TriggerSLOBurn          = "slo-burn"
 	TriggerManual           = "manual"
 )
 
@@ -348,6 +350,41 @@ func (r *Recorder) Dump(trigger string) (string, error) {
 	if r.cfg.Logger != nil {
 		r.cfg.Logger.Info("flight dump written",
 			"path", path, "trigger", trigger, "seq", d.Seq, "traces", len(d.Entries))
+	}
+	return path, nil
+}
+
+// DumpSpans writes a bundle for an externally detected condition —
+// phasebeatd wires the SLO burn tracker's OnBurn callback here with
+// TriggerSLOBurn — attaching the latency tracer's retained spans and a
+// free-form note alongside the trace ring. Unlike Dump, an empty ring
+// is allowed (in a backlogged fleet the spans are the evidence even
+// before per-session traces accumulate), and the recorder's stride
+// cooldown is bypassed: the external trigger owns its own rate limit
+// (the SLO tracker's BurnCooldown).
+func (r *Recorder) DumpSpans(trigger string, spans []otrace.SpanRecord, note string) (string, error) {
+	if trigger == "" {
+		trigger = TriggerManual
+	}
+	r.mu.Lock()
+	if r.cfg.Dir == "" {
+		r.mu.Unlock()
+		return "", fmt.Errorf("explain: no flight-dump directory configured")
+	}
+	d, path := r.buildDumpLocked(trigger, r.seq)
+	r.mu.Unlock()
+	d.Spans = spans
+	d.Note = note
+	data, err := json.MarshalIndent(d, "", "  ")
+	if err == nil {
+		err = os.WriteFile(path, data, 0o644)
+	}
+	if err != nil {
+		return "", err
+	}
+	if r.cfg.Logger != nil {
+		r.cfg.Logger.Info("flight dump written",
+			"path", path, "trigger", trigger, "traces", len(d.Entries), "spans", len(spans))
 	}
 	return path, nil
 }

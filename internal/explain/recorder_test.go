@@ -6,11 +6,13 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
 	"phasebeat/internal/core"
 	"phasebeat/internal/csisim"
+	"phasebeat/internal/otrace"
 )
 
 // newLabSim builds a laboratory simulator with one person breathing at
@@ -462,5 +464,56 @@ func TestFlightRecorderCapturesNaNFault(t *testing.T) {
 	last := rec.Last()
 	if last == nil || last.Seq != uint64(len(updates)) {
 		t.Fatalf("Last() = %+v, want seq %d", last, len(updates))
+	}
+}
+
+func TestDumpSpans(t *testing.T) {
+	// No directory: refused, like Dump.
+	r, err := NewRecorder(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.DumpSpans(TriggerSLOBurn, nil, ""); err == nil {
+		t.Fatal("DumpSpans without a directory succeeded")
+	}
+
+	dir := t.TempDir()
+	r, err = NewRecorder(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := []otrace.SpanRecord{{
+		ID: 1, Key: "sess", Seq: 3, TotalNanos: 42e6,
+		Segments: []otrace.Segment{{Name: otrace.SegCompute, Nanos: 42e6}},
+	}}
+	// Unlike Dump, an empty trace ring is fine: the spans ARE the
+	// evidence in a backlogged fleet.
+	path, err := r.DumpSpans(TriggerSLOBurn, spans, `{"fast_burn":12.5}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d FlightDump
+	if err := json.Unmarshal(data, &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Trigger != TriggerSLOBurn || d.Schema != FlightSchema {
+		t.Fatalf("dump header = %q/%q", d.Trigger, d.Schema)
+	}
+	if len(d.Spans) != 1 || d.Spans[0].Key != "sess" || d.Spans[0].TotalNanos != 42e6 {
+		t.Fatalf("spans did not round-trip: %+v", d.Spans)
+	}
+	if d.Note != `{"fast_burn":12.5}` {
+		t.Fatalf("note = %q", d.Note)
+	}
+	// Empty trigger normalizes to manual.
+	if path, err = r.DumpSpans("", nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	if base := filepath.Base(path); !strings.Contains(base, TriggerManual) {
+		t.Fatalf("manual dump file %q", base)
 	}
 }

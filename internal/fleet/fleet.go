@@ -37,6 +37,7 @@ import (
 	"phasebeat/internal/arena"
 	"phasebeat/internal/core"
 	"phasebeat/internal/metrics"
+	"phasebeat/internal/otrace"
 	"phasebeat/internal/trace"
 )
 
@@ -80,6 +81,14 @@ type Config struct {
 	// best-effort: a Recorder error never fails the monitored stream, it
 	// is counted in fleet.record.errors and logged at Warn.
 	Recorder Recorder
+	// Tracer, when non-nil, enables end-to-end latency spans: every
+	// ingested packet carries a trace context from the frame boundary
+	// (or the Ingest call, for in-process feeders) through the shard
+	// mailbox and the session Monitor, and the span is closed when the
+	// update it completed is published — feeding the fleet.span.*
+	// histograms, the SLO burn tracker, and the sampled-span ring. Nil
+	// (the default) reads no clock anywhere on the ingest path.
+	Tracer *otrace.Tracer
 }
 
 // Recorder archives a fleet's traffic. Implementations must be safe for
@@ -255,6 +264,7 @@ func (m *Manager) Open(key string, sc SessionConfig) (*Session, error) {
 	mc.Arena = sh.arena
 	mc.Metrics = nil
 	mc.UpdateObserver = nil
+	mc.Tracer = m.cfg.Tracer
 
 	sh.mu.Lock()
 	// The stop check shares the shard lock with Close's final sweep, so
@@ -319,6 +329,18 @@ func (m *Manager) Get(key string) (*Session, bool) {
 // no live session is counted in fleet.unrouted and discarded by the
 // shard; Ingest itself does not check, so the hot path takes no lock.
 func (m *Manager) Ingest(key string, p trace.Packet) error {
+	// In-process feeders get their span opened here — the Ingest call IS
+	// their frame boundary. With no tracer, Start returns the zero Ctx
+	// and the whole path stays clock-free.
+	return m.IngestCtx(key, p, m.cfg.Tracer.Start(0))
+}
+
+// IngestCtx is Ingest with a caller-opened latency trace context — the
+// network server opens the span before frame decode so the decode work
+// lands in the frame segment, then routes through here. The mailbox
+// handoff boundary is stamped just before the send, so mailbox dwell is
+// measured from enqueue, not from span start.
+func (m *Manager) IngestCtx(key string, p trace.Packet, ot otrace.Ctx) error {
 	// Stop-priority pre-check: after Close returns, Ingest refuses
 	// deterministically instead of racing a mailbox that still has room
 	// (the same contract Monitor.Ingest pins for its own queue).
@@ -327,9 +349,12 @@ func (m *Manager) Ingest(key string, p trace.Packet) error {
 		return ErrClosed
 	default:
 	}
+	if ot.Live() {
+		ot.MailboxEnq = otrace.Now()
+	}
 	sh := m.shardFor(key)
 	select {
-	case sh.mailbox <- ingestMsg{key: key, pkt: p}:
+	case sh.mailbox <- ingestMsg{key: key, pkt: p, ot: ot}:
 		return nil
 	case <-m.stop:
 		return ErrClosed
@@ -512,10 +537,12 @@ func addHealth(a, b core.Health) core.Health {
 	return a
 }
 
-// ingestMsg is one routed packet in a shard mailbox.
+// ingestMsg is one routed packet in a shard mailbox, with its latency
+// trace context (zero when untraced).
 type ingestMsg struct {
 	key string
 	pkt trace.Packet
+	ot  otrace.Ctx
 }
 
 // shard owns one slice of the session space: a goroutine draining the
@@ -553,7 +580,12 @@ func (sh *shard) run() {
 				sh.unrouted.Add(1)
 				continue
 			}
-			s.mon.Ingest(msg.pkt)
+			// The mailbox→Monitor boundary: dwell in the shard mailbox
+			// ends here, dwell in the session's ingest queue begins.
+			if msg.ot.Live() {
+				msg.ot.QueueEnq = otrace.Now()
+			}
+			s.mon.IngestCtx(msg.pkt, msg.ot)
 			sh.ingested.Add(1)
 			if rec := sh.mgr.cfg.Recorder; rec != nil {
 				sh.mgr.recordErr("append", msg.key, rec.AppendPacket(msg.key, msg.pkt))
@@ -576,6 +608,11 @@ type Session struct {
 	seq    uint64
 	latest core.Update
 	wake   chan struct{}
+	// span is the retained latency span of the update at spanSeq (nil
+	// when that update's span was not retained, or tracing is off) —
+	// Wait marks its long-poll pickup dwell on delivery.
+	span    *otrace.SpanRecord
+	spanSeq uint64
 
 	drained chan struct{}
 }
@@ -614,7 +651,16 @@ func (s *Session) Wait(since uint64, timeout time.Duration) (Snapshot, bool) {
 		s.mu.Lock()
 		if s.seq > since {
 			snap := Snapshot{Seq: s.seq, Update: s.latest}
+			span := s.span
+			if span != nil && s.spanSeq != s.seq {
+				span = nil
+			}
 			s.mu.Unlock()
+			if span != nil {
+				// First pickup of a retained span: record how long the
+				// published update sat before a subscriber saw it.
+				s.sh.mgr.cfg.Tracer.MarkPickup(span, otrace.Now())
+			}
 			return snap, true
 		}
 		wake := s.wake
@@ -634,15 +680,44 @@ func (s *Session) Wait(since uint64, timeout time.Duration) (Snapshot, bool) {
 // wake channel.
 func (s *Session) drain() {
 	defer close(s.drained)
+	tracer := s.sh.mgr.cfg.Tracer
 	for u := range s.mon.Updates() {
+		// The publish timestamp is read before the commit below: the
+		// moment the snapshot becomes visible is when the update's data
+		// stops aging for subscribers, and the deliver segment must not
+		// absorb the recorder tee that follows.
+		var publish int64
+		if u.Trace.Live() {
+			publish = otrace.Now()
+		}
 		s.mu.Lock()
 		s.seq++
+		seq := s.seq
 		s.latest = u
 		close(s.wake)
 		s.wake = make(chan struct{})
 		s.mu.Unlock()
+		var span *otrace.SpanRecord
+		if publish != 0 {
+			span = tracer.FinishUpdate(s.key, seq, &u.Trace, publish)
+			if span != nil {
+				s.mu.Lock()
+				s.span, s.spanSeq = span, seq
+				s.mu.Unlock()
+			}
+		}
 		if rec := s.sh.mgr.cfg.Recorder; rec != nil {
-			s.sh.mgr.recordErr("update", s.key, rec.AppendUpdate(s.key, u))
+			// Time the archive append only for retained spans — the
+			// untraced path keeps its no-clock-reads contract.
+			var t0 time.Time
+			if span != nil {
+				t0 = time.Now()
+			}
+			err := rec.AppendUpdate(s.key, u)
+			if span != nil {
+				tracer.MarkStore(span, time.Since(t0))
+			}
+			s.sh.mgr.recordErr("update", s.key, err)
 		}
 	}
 }

@@ -25,6 +25,7 @@ import (
 //	             window(f64) stride(f64) persons(u8)
 //	ingest    := key time(f64) antennas(u8) subcarriers(u16)
 //	             cells[antennas*subcarriers × (re f64, im f64)]
+//	             [sendUnixNanos(u64)]
 //	close     := key
 //	subscribe := key since(u64) waitMillis(u32)
 //	key       := len(u16) bytes[len]
@@ -40,6 +41,14 @@ import (
 //
 // flags bit0 = breathing estimate present, bit1 = heart estimate present,
 // bit2 = update itself carries an error (err non-empty).
+//
+// The trailing sendUnixNanos field on ingest is the latency-span
+// protocol rev: a peer that stamps its wall-clock send time appends it
+// after the cells; a peer that does not omits it entirely. The decoder
+// accepts both sizes, so pre-rev feeders keep working unchanged, and
+// the encoder writes the field only when the timestamp is nonzero —
+// zero canonicalizes to the legacy form, keeping encode∘decode a fixed
+// point for the fuzz harness.
 const (
 	frameOpen      = 0x01
 	frameIngest    = 0x02
@@ -265,8 +274,10 @@ func finiteNonNegative(v float64) bool {
 	return !math.IsNaN(v) && !math.IsInf(v, 0) && v >= 0
 }
 
-// encodeIngest builds a frameIngest payload for one packet.
-func encodeIngest(key string, p trace.Packet) ([]byte, error) {
+// encodeIngest builds a frameIngest payload for one packet. sendNanos,
+// when nonzero, is appended as the optional trailing send-timestamp
+// field (Unix nanos); zero emits the legacy payload byte-for-byte.
+func encodeIngest(key string, p trace.Packet, sendNanos int64) ([]byte, error) {
 	ants := len(p.CSI)
 	if ants == 0 || ants > MaxAntennas {
 		return nil, fmt.Errorf("%w: packet has %d antennas", ErrBadFrame, ants)
@@ -275,7 +286,7 @@ func encodeIngest(key string, p trace.Packet) ([]byte, error) {
 	if subs == 0 || subs > MaxSubcarriers {
 		return nil, fmt.Errorf("%w: packet has %d subcarriers", ErrBadFrame, subs)
 	}
-	b := make([]byte, 0, 2+len(key)+8+3+ants*subs*16)
+	b := make([]byte, 0, 2+len(key)+8+3+ants*subs*16+8)
 	b = appendKey(b, key)
 	b = appendF64(b, p.Time)
 	b = append(b, byte(ants))
@@ -289,37 +300,47 @@ func encodeIngest(key string, p trace.Packet) ([]byte, error) {
 			b = appendF64(b, imag(v))
 		}
 	}
+	if sendNanos != 0 {
+		b = binary.LittleEndian.AppendUint64(b, uint64(sendNanos))
+	}
 	return b, nil
 }
 
 // decodeIngest parses a frameIngest payload into a freshly allocated
 // packet. The cell count is validated against both the shape bounds and
-// the actual payload size before the packet slab is allocated.
-func decodeIngest(payload []byte) (string, trace.Packet, error) {
+// the actual payload size before the packet slab is allocated. The
+// returned sendNanos is the peer's optional send timestamp (0 when the
+// legacy, timestamp-less form was sent).
+func decodeIngest(payload []byte) (string, trace.Packet, int64, error) {
 	c := cursor{b: payload}
 	key, err := c.key()
 	if err != nil {
-		return "", trace.Packet{}, err
+		return "", trace.Packet{}, 0, err
 	}
 	t, err := c.f64()
 	if err != nil {
-		return "", trace.Packet{}, err
+		return "", trace.Packet{}, 0, err
 	}
 	ants, err := c.u8()
 	if err != nil {
-		return "", trace.Packet{}, err
+		return "", trace.Packet{}, 0, err
 	}
 	subs, err := c.u16()
 	if err != nil {
-		return "", trace.Packet{}, err
+		return "", trace.Packet{}, 0, err
 	}
 	if ants == 0 || int(ants) > MaxAntennas || subs == 0 || int(subs) > MaxSubcarriers {
-		return "", trace.Packet{}, fmt.Errorf("%w: packet shape %d×%d outside (0, %d]×(0, %d]",
+		return "", trace.Packet{}, 0, fmt.Errorf("%w: packet shape %d×%d outside (0, %d]×(0, %d]",
 			ErrBadFrame, ants, subs, MaxAntennas, MaxSubcarriers)
 	}
 	cells := int(ants) * int(subs)
-	if c.remaining() != cells*16 {
-		return "", trace.Packet{}, fmt.Errorf("%w: %d payload bytes for %d cells",
+	hasSend := false
+	switch c.remaining() {
+	case cells * 16:
+	case cells*16 + 8:
+		hasSend = true
+	default:
+		return "", trace.Packet{}, 0, fmt.Errorf("%w: %d payload bytes for %d cells",
 			ErrBadFrame, c.remaining(), cells)
 	}
 	p := trace.NewPacket(t, int(ants), int(subs))
@@ -331,7 +352,15 @@ func decodeIngest(payload []byte) (string, trace.Packet, error) {
 			row[s] = complex(re, im)
 		}
 	}
-	return key, p, c.done()
+	var sendNanos int64
+	if hasSend {
+		v, err := c.u64()
+		if err != nil {
+			return "", trace.Packet{}, 0, err
+		}
+		sendNanos = int64(v)
+	}
+	return key, p, sendNanos, c.done()
 }
 
 // encodeClose builds a frameClose payload.

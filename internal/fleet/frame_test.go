@@ -97,16 +97,16 @@ func TestIngestRoundTripAndValidation(t *testing.T) {
 			p.CSI[a][s] = complex(float64(a), float64(s))
 		}
 	}
-	payload, err := encodeIngest("key-1", p)
+	payload, err := encodeIngest("key-1", p, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	key, got, err := decodeIngest(payload)
+	key, got, send, err := decodeIngest(payload)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if key != "key-1" || got.Time != p.Time {
-		t.Fatalf("ingest roundtrip header: %q t=%v", key, got.Time)
+	if key != "key-1" || got.Time != p.Time || send != 0 {
+		t.Fatalf("ingest roundtrip header: %q t=%v send=%d", key, got.Time, send)
 	}
 	for a := range p.CSI {
 		for s := range p.CSI[a] {
@@ -116,19 +116,34 @@ func TestIngestRoundTripAndValidation(t *testing.T) {
 		}
 	}
 
+	// The latency-span protocol rev: a nonzero send timestamp rides an
+	// optional trailing field, the legacy form (no field) decodes with
+	// send == 0, and the stamped payload is exactly 8 bytes longer.
+	stamped, err := encodeIngest("key-1", p, 123456789)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stamped) != len(payload)+8 {
+		t.Fatalf("stamped payload %d bytes, want legacy %d + 8", len(stamped), len(payload))
+	}
+	_, _, send, err = decodeIngest(stamped)
+	if err != nil || send != 123456789 {
+		t.Fatalf("stamped roundtrip: send=%d err=%v", send, err)
+	}
+
 	// Shape bombs: the declared cell count must match the payload exactly
 	// and respect the shape bounds, checked before the packet allocation.
 	header := appendKey(nil, "k")
 	header = appendF64(header, 0)
 	bomb := append(append([]byte(nil), header...), MaxAntennas+1)
 	bomb = binary.LittleEndian.AppendUint16(bomb, 1)
-	if _, _, err := decodeIngest(bomb); !errors.Is(err, ErrBadFrame) {
+	if _, _, _, err := decodeIngest(bomb); !errors.Is(err, ErrBadFrame) {
 		t.Fatalf("antenna bomb: err = %v, want ErrBadFrame", err)
 	}
 	short := append(append([]byte(nil), header...), 2)
 	short = binary.LittleEndian.AppendUint16(short, 4)
 	short = append(short, make([]byte, 16)...) // 1 cell of the declared 8
-	if _, _, err := decodeIngest(short); !errors.Is(err, ErrBadFrame) {
+	if _, _, _, err := decodeIngest(short); !errors.Is(err, ErrBadFrame) {
 		t.Fatalf("short cells: err = %v, want ErrBadFrame", err)
 	}
 }

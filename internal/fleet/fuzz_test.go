@@ -27,7 +27,7 @@ func FuzzFrameDecode(f *testing.F) {
 			pkt.CSI[a][s] = complex(float64(a), float64(s))
 		}
 	}
-	ingest, err := encodeIngest("sess", pkt)
+	ingest, err := encodeIngest("sess", pkt, 987654321)
 	if err != nil {
 		f.Fatal(err)
 	}
@@ -71,22 +71,25 @@ func FuzzFrameDecode(f *testing.F) {
 				t.Fatal("open encode is not a fixed point")
 			}
 		case frameIngest:
-			key, p, err := decodeIngest(payload)
+			key, p, send, err := decodeIngest(payload)
 			if err != nil {
 				break
 			}
 			if len(p.CSI) == 0 || len(p.CSI) > MaxAntennas || len(p.CSI[0]) > MaxSubcarriers {
 				t.Fatalf("accepted packet shape %d×%d", len(p.CSI), len(p.CSI[0]))
 			}
-			enc, err := encodeIngest(key, p)
+			enc, err := encodeIngest(key, p, send)
 			if err != nil {
 				t.Fatalf("re-encode of accepted ingest failed: %v", err)
 			}
-			key2, p2, err := decodeIngest(enc)
+			key2, p2, send2, err := decodeIngest(enc)
 			if err != nil {
 				t.Fatalf("re-decode of accepted ingest failed: %v", err)
 			}
-			enc2, err := encodeIngest(key2, p2)
+			if send2 != send {
+				t.Fatalf("send timestamp changed across roundtrip: %d != %d", send2, send)
+			}
+			enc2, err := encodeIngest(key2, p2, send2)
 			if err != nil || !bytes.Equal(enc, enc2) {
 				t.Fatal("ingest encode is not a fixed point")
 			}

@@ -11,6 +11,7 @@ import (
 	"phasebeat/internal/core"
 	"phasebeat/internal/csisim"
 	"phasebeat/internal/metrics"
+	"phasebeat/internal/otrace"
 	"phasebeat/internal/trace"
 )
 
@@ -48,6 +49,10 @@ type HarnessConfig struct {
 	// Config.Recorder) — phasebeatd's selftest uses this to exercise the
 	// store end to end under churn.
 	Recorder Recorder
+	// Tracer optionally traces every ingested packet end to end (see
+	// Config.Tracer) — phasebeatd's selftest uses this to verify SLO
+	// burn tracking under a real load.
+	Tracer *otrace.Tracer
 }
 
 // HarnessResult is the load run's report card.
@@ -153,6 +158,7 @@ func RunHarness(cfg HarnessConfig) (HarnessResult, error) {
 		SessionBuffer: sessionBuffer,
 		Metrics:       cfg.Metrics,
 		Recorder:      cfg.Recorder,
+		Tracer:        cfg.Tracer,
 		Monitor: core.MonitorConfig{
 			Pipeline:           core.ConfigForRate(cfg.SampleRate),
 			Persons:            1,

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"phasebeat/internal/otrace"
 	"phasebeat/internal/trace"
 )
 
@@ -155,13 +156,23 @@ func (s *Server) handleFrame(w *bufio.Writer, typ byte, payload []byte) error {
 		s.reply(w, frameOK, appendKey(nil, req.Key))
 		return nil
 	case frameIngest:
-		key, pkt, err := decodeIngest(payload)
+		// The receive timestamp is stamped before the decode so the
+		// span's frame segment covers the decode work. No tracer, no
+		// clock read.
+		var recv int64
+		if s.mgr.cfg.Tracer.Enabled() {
+			recv = otrace.Now()
+		}
+		key, pkt, send, err := decodeIngest(payload)
 		if err != nil {
 			return err
 		}
 		// Fire-and-forget: ingest frames get no reply, so one connection
 		// can stream packets at line rate. Routing misses surface in
 		// fleet.unrouted.
+		if recv != 0 {
+			return s.mgr.IngestCtx(key, pkt, s.mgr.cfg.Tracer.StartAt(recv, send))
+		}
 		return s.mgr.Ingest(key, pkt)
 	case frameClose:
 		key, err := decodeClose(payload)
@@ -270,11 +281,14 @@ func (c *Client) CloseSession(key string) error {
 	return c.expectOK(frameClose, encodeClose(key))
 }
 
-// Ingest streams one packet. Ingest frames have no reply, so errors here
-// are transport errors only; routing failures surface in fleet.unrouted
-// and the session's own Health.
+// Ingest streams one packet, stamping the wall-clock send time into the
+// frame's optional trailing timestamp field so a tracing server can
+// report client→server freshness (advisory — clock skew applies).
+// Ingest frames have no reply, so errors here are transport errors
+// only; routing failures surface in fleet.unrouted and the session's
+// own Health.
 func (c *Client) Ingest(key string, p trace.Packet) error {
-	payload, err := encodeIngest(key, p)
+	payload, err := encodeIngest(key, p, time.Now().UnixNano())
 	if err != nil {
 		return err
 	}

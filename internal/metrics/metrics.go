@@ -127,6 +127,13 @@ var DefLatencyBuckets = []float64{
 	1, 2.5, 5, 10,
 }
 
+// LatencyBounds is the shared duration-histogram preset: every
+// latency-shaped histogram in the tree (stride, fleet spans, store
+// appends, SLO tracking) uses these bounds so their quantiles and
+// Prometheus bucket series line up for cross-metric comparison. It is
+// the same 1µs–10s log-ish ladder as DefLatencyBuckets.
+var LatencyBounds = DefLatencyBuckets
+
 // Histogram counts observations into fixed buckets. Bounds are upper
 // bounds (an observation v lands in the first bucket with v <= bound;
 // larger values land in the implicit +Inf overflow bucket). Recording is
@@ -212,10 +219,15 @@ func (b Bucket) MarshalJSON() ([]byte, error) {
 }
 
 // HistogramSnapshot is a histogram's point-in-time value as exposed in
-// registry snapshots. Empty buckets are omitted.
+// registry snapshots. Empty buckets are omitted. P50/P95/P99 are
+// bucket-interpolated quantile estimates (see Quantile); zero when the
+// histogram is empty.
 type HistogramSnapshot struct {
 	Count   uint64   `json:"count"`
 	Sum     float64  `json:"sum"`
+	P50     float64  `json:"p50,omitempty"`
+	P95     float64  `json:"p95,omitempty"`
+	P99     float64  `json:"p99,omitempty"`
 	Buckets []Bucket `json:"buckets,omitempty"`
 }
 
@@ -225,9 +237,17 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	if h == nil {
 		return HistogramSnapshot{}
 	}
-	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.Sum()}
+	counts := make([]uint64, len(h.counts))
+	var total uint64
 	for i := range h.counts {
-		n := h.counts[i].Load()
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.Sum()}
+	s.P50 = quantile(h.bounds, counts, total, 0.50)
+	s.P95 = quantile(h.bounds, counts, total, 0.95)
+	s.P99 = quantile(h.bounds, counts, total, 0.99)
+	for i, n := range counts {
 		if n == 0 {
 			continue
 		}
@@ -238,6 +258,58 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		s.Buckets = append(s.Buckets, Bucket{UpperBound: bound, N: n})
 	}
 	return s
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) by locating the bucket
+// containing the target rank and interpolating linearly inside it — the
+// same estimate Prometheus's histogram_quantile computes from the
+// bucket series. Observations in the +Inf overflow bucket clamp to the
+// highest finite bound. Returns 0 for an empty or nil histogram or an
+// out-of-range q.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	counts := make([]uint64, len(h.counts))
+	var total uint64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	return quantile(h.bounds, counts, total, q)
+}
+
+// quantile interpolates the q-quantile from a fixed-bucket count
+// vector. Each bucket's observations are assumed uniform between its
+// lower and upper bound (the first bucket's lower bound is 0 — these
+// histograms hold non-negative durations).
+func quantile(bounds []float64, counts []uint64, total uint64, q float64) float64 {
+	if total == 0 || q <= 0 || q >= 1 {
+		return 0
+	}
+	rank := q * float64(total)
+	var seen float64
+	for i, n := range counts {
+		if n == 0 {
+			continue
+		}
+		next := seen + float64(n)
+		if rank > next {
+			seen = next
+			continue
+		}
+		if i >= len(bounds) {
+			// Overflow bucket: no upper bound to interpolate toward;
+			// clamp to the highest finite bound.
+			return bounds[len(bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		return lo + (bounds[i]-lo)*((rank-seen)/float64(n))
+	}
+	return bounds[len(bounds)-1]
 }
 
 // MetricValue implements Var.

@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text-format exposition (version 0.0.4) for a Registry.
+//
+// The JSON snapshot at /debug/metrics is for humans and tests; this
+// writer is for scrapers. Three translations happen on the way out:
+//
+//   - Names: Prometheus identifiers are [a-zA-Z_:][a-zA-Z0-9_:]*, so
+//     the registry's dotted names are sanitized ("fleet.slo.burn.fast"
+//     → "fleet_slo_burn_fast"); any other illegal rune also becomes an
+//     underscore, and a leading digit gets one prepended.
+//   - Types: each family carries a "# TYPE" hint — counter, gauge
+//     (Gauge and Func both), or histogram.
+//   - Histograms: the internal representation is per-bucket counts; the
+//     exposition format wants cumulative counts per "le" upper bound,
+//     so buckets are summed on the way out, with the mandatory +Inf
+//     bucket and the _sum/_count series.
+
+// sanitizeMetricName maps a registry name onto the Prometheus
+// identifier alphabet.
+func sanitizeMetricName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if r >= '0' && r <= '9' && i == 0 {
+			b.WriteByte('_')
+			b.WriteRune(r)
+			continue
+		}
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// formatFloat renders a sample value; Prometheus accepts Go's shortest
+// round-trip form and the spelled-out infinities.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes every registered metric in the Prometheus text
+// exposition format, families in sorted name order. Metrics whose
+// values are not numeric or histogram shaped are skipped. No-op on a
+// nil registry.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	vars := make(map[string]Var, len(r.vars))
+	for name, v := range r.vars {
+		vars[name] = v
+	}
+	r.mu.RUnlock()
+	names := make([]string, 0, len(vars))
+	for name := range vars {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pname := sanitizeMetricName(name)
+		switch v := vars[name].(type) {
+		case *Counter:
+			if err := writeSimple(w, pname, "counter", float64(v.Value())); err != nil {
+				return err
+			}
+		case *Gauge:
+			if err := writeSimple(w, pname, "gauge", v.Value()); err != nil {
+				return err
+			}
+		case Func:
+			if err := writeSimple(w, pname, "gauge", v()); err != nil {
+				return err
+			}
+		case *Histogram:
+			if err := writeHistogram(w, pname, v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSimple(w io.Writer, name, typ string, v float64) error {
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %s\n", name, typ, name, formatFloat(v))
+	return err
+}
+
+func writeHistogram(w io.Writer, name string, h *Histogram) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	// The exposition format wants cumulative bucket counts; the
+	// histogram stores per-bucket, so accumulate on the way out. Every
+	// configured bound is emitted (including empty buckets — scrape
+	// deltas need stable series), ending with the mandatory +Inf.
+	var cum uint64
+	for i := 0; i < len(h.bounds)+1; i++ {
+		cum += h.counts[i].Load()
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = formatFloat(h.bounds[i])
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, formatFloat(h.Sum()), name, h.Count())
+	return err
+}
+
+// PrometheusHandler returns an http.Handler serving WritePrometheus —
+// mount it at /metrics next to the JSON registry at /debug/metrics.
+func (r *Registry) PrometheusHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WritePrometheus(w); err != nil {
+			return
+		}
+	})
+}

@@ -1,0 +1,45 @@
+package otrace
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkSpanIngestOverhead measures the per-packet tracer cost at the
+// two operating points that matter: disabled (the nil tracer every
+// untraced deployment runs — must stay allocation-free and near-zero)
+// and enabled (Start + FinishUpdate on an unsampled packet — the hot
+// path when tracing is on).
+func BenchmarkSpanIngestOverhead(b *testing.B) {
+	b.Run("disabled", func(b *testing.B) {
+		var tr *Tracer
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c := tr.Start(0)
+			if c.Live() {
+				b.Fatal("nil tracer produced a live Ctx")
+			}
+			tr.FinishUpdate("sess", uint64(i), &c, 0)
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		tr, err := New(Config{
+			SampleEvery: 1 << 30, // never head-sample: measure the unretained path
+			SLO:         &SLOConfig{Target: 250 * time.Millisecond},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c := tr.Start(0)
+			ms := int64(time.Millisecond)
+			c.MailboxEnq = c.Recv + ms
+			c.QueueEnq = c.MailboxEnq + ms
+			c.QueueDeq = c.QueueEnq + ms
+			c.ComputeEnd = c.QueueDeq + ms
+			tr.FinishUpdate("sess", uint64(i), &c, c.ComputeEnd+ms)
+		}
+	})
+}

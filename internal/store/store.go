@@ -170,6 +170,7 @@ type Store struct {
 	appendRejected           *metrics.Counter
 	tierHits                 []*metrics.Counter // parallel to cfg.TierSeconds
 	blockCorrupt, blocksLost *metrics.Counter
+	appendSeconds            *metrics.Histogram
 }
 
 // Open opens (and, unless read-only, creates) the store rooted at
@@ -236,6 +237,11 @@ func (s *Store) register(reg *metrics.Registry) {
 	if reg == nil {
 		return
 	}
+	// Append latency (tail write + tier ingestion + any seal it caused)
+	// on the shared LatencyBounds ladder so it lines up with the fleet
+	// span histograms. Registered only with a live registry: AppendPacket
+	// gates its clock reads on the field being non-nil.
+	s.appendSeconds = reg.Histogram("store.append.seconds", metrics.LatencyBounds)
 	reg.RegisterFunc("store.sessions", func() float64 { return float64(s.Stats().Sessions) })
 	reg.RegisterFunc("store.blocks", func() float64 { return float64(s.Stats().Blocks) })
 	reg.RegisterFunc("store.bytes", func() float64 { return float64(s.bytes.Load()) })
@@ -336,6 +342,12 @@ func (s *Store) OpenSession(key string, meta Meta) error {
 // backwards in time are rejected (counted in store.append.rejected) so a
 // sealed block always satisfies the trace codec's validity contract.
 func (s *Store) AppendPacket(key string, p trace.Packet) error {
+	// Observe the append latency only when a registry is wired — no
+	// registry, no clock reads (DESIGN §9).
+	if s.appendSeconds != nil {
+		t0 := time.Now()
+		defer func() { s.appendSeconds.Observe(time.Since(t0).Seconds()) }()
+	}
 	ss, err := s.mutableSession(key)
 	if err != nil {
 		return err
